@@ -1,0 +1,323 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ernestCurve evaluates a known Ernest-family ground truth.
+func ernestCurve(theta [4]float64, x int) float64 {
+	fx := float64(x)
+	return theta[0] + theta[1]/fx + theta[2]*math.Log(fx) + theta[3]*fx
+}
+
+func curvePoints(theta [4]float64, xs []int) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{ScaleOut: x, Runtime: ernestCurve(theta, x)}
+	}
+	return pts
+}
+
+func TestErnestRecoversCurve(t *testing.T) {
+	theta := [4]float64{30, 200, 8, 1.5}
+	e := NewErnest()
+	if err := e.Fit(curvePoints(theta, []int{2, 4, 6, 8, 10, 12})); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int{3, 5, 7, 9, 11, 14, 20} {
+		got, err := e.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ernestCurve(theta, x)
+		if math.Abs(got-want)/want > 0.01 {
+			t.Fatalf("Predict(%d) = %v, want ~%v", x, got, want)
+		}
+	}
+}
+
+func TestErnestNonNegativeTheta(t *testing.T) {
+	e := NewErnest()
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 8)
+	for i := range pts {
+		pts[i] = Point{ScaleOut: i + 1, Runtime: rng.Float64() * 100}
+	}
+	if err := e.Fit(pts); err != nil {
+		t.Fatal(err)
+	}
+	for i, th := range e.Theta {
+		if th < 0 {
+			t.Fatalf("Theta[%d] = %v < 0", i, th)
+		}
+	}
+}
+
+func TestErnestErrors(t *testing.T) {
+	e := NewErnest()
+	if _, err := e.Predict(4); err != ErrNotFitted {
+		t.Fatalf("Predict before Fit err = %v, want ErrNotFitted", err)
+	}
+	if err := e.Fit(nil); err != ErrNoData {
+		t.Fatalf("Fit(nil) err = %v, want ErrNoData", err)
+	}
+	if err := e.Fit([]Point{{ScaleOut: 0, Runtime: 1}}); err == nil {
+		t.Fatal("Fit with zero scale-out should fail")
+	}
+	if err := e.Fit([]Point{{ScaleOut: 2, Runtime: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Predict(-1); err == nil {
+		t.Fatal("Predict(-1) should fail")
+	}
+}
+
+func TestErnestSinglePoint(t *testing.T) {
+	// One point is degenerate but must not crash — the paper notes NNLS
+	// with one point is "by design unreasonable", not broken.
+	e := NewErnest()
+	if err := e.Fit([]Point{{ScaleOut: 4, Runtime: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Predict(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-100) > 1 {
+		t.Fatalf("Predict(4) = %v, want ~100", got)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	f := Features(4)
+	want := []float64{1, 0.25, math.Log(4), 4}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1e-12 {
+			t.Fatalf("Features(4) = %v, want %v", f, want)
+		}
+	}
+}
+
+func TestInterpolatorExact(t *testing.T) {
+	ip := NewInterpolator()
+	pts := []Point{{2, 100}, {4, 60}, {8, 40}}
+	if err := ip.Fit(pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		got, err := ip.Predict(p.ScaleOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-p.Runtime) > 1e-12 {
+			t.Fatalf("Predict(%d) = %v, want %v", p.ScaleOut, got, p.Runtime)
+		}
+	}
+}
+
+func TestInterpolatorMidpoint(t *testing.T) {
+	ip := NewInterpolator()
+	if err := ip.Fit([]Point{{2, 100}, {4, 60}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ip.Predict(3)
+	if math.Abs(got-80) > 1e-12 {
+		t.Fatalf("Predict(3) = %v, want 80", got)
+	}
+}
+
+func TestInterpolatorAveragesRepeats(t *testing.T) {
+	ip := NewInterpolator()
+	if err := ip.Fit([]Point{{2, 90}, {2, 110}, {4, 60}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ip.Predict(2)
+	if math.Abs(got-100) > 1e-12 {
+		t.Fatalf("Predict(2) = %v, want 100", got)
+	}
+}
+
+func TestInterpolatorExtrapolatesLinearly(t *testing.T) {
+	ip := NewInterpolator()
+	if err := ip.Fit([]Point{{2, 100}, {4, 80}, {6, 60}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ip.Predict(8)
+	if math.Abs(got-40) > 1e-12 {
+		t.Fatalf("Predict(8) = %v, want 40", got)
+	}
+	got, _ = ip.Predict(1)
+	if math.Abs(got-110) > 1e-12 {
+		t.Fatalf("Predict(1) = %v, want 110", got)
+	}
+}
+
+func TestInterpolatorClampsNegative(t *testing.T) {
+	ip := NewInterpolator()
+	if err := ip.Fit([]Point{{2, 30}, {4, 10}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ip.Predict(10)
+	if got < 0 {
+		t.Fatalf("Predict(10) = %v, want clamped >= 0", got)
+	}
+}
+
+func TestInterpolatorSingleKnot(t *testing.T) {
+	ip := NewInterpolator()
+	if err := ip.Fit([]Point{{4, 55}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ip.Predict(10)
+	if got != 55 {
+		t.Fatalf("Predict(10) = %v, want 55", got)
+	}
+}
+
+func TestInterpolatorErrors(t *testing.T) {
+	ip := NewInterpolator()
+	if _, err := ip.Predict(3); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+	if err := ip.Fit(nil); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestBellFallsBackBelowThreePoints(t *testing.T) {
+	b := NewBell()
+	if err := b.Fit([]Point{{2, 100}, {4, 60}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.UseNonParametric {
+		t.Fatal("Bell should use the parametric model with < 3 distinct scale-outs")
+	}
+}
+
+func TestBellPrefersInterpolationOnDenseNonParametricData(t *testing.T) {
+	// A curve with an interior minimum that Ernest's nonnegative basis
+	// cannot represent well; with dense samples the interpolator's CV
+	// error is lower.
+	b := NewBell()
+	var pts []Point
+	for x := 2; x <= 24; x += 2 {
+		fx := float64(x)
+		runtime := 500/fx + 2*fx*fx // steep quadratic rise
+		pts = append(pts, Point{ScaleOut: x, Runtime: runtime})
+	}
+	if err := b.Fit(pts); err != nil {
+		t.Fatal(err)
+	}
+	if !b.UseNonParametric {
+		t.Fatal("Bell should pick the non-parametric model on a quadratic curve")
+	}
+}
+
+func TestBellPrefersParametricOnSparseErnestData(t *testing.T) {
+	theta := [4]float64{30, 400, 5, 1}
+	b := NewBell()
+	if err := b.Fit(curvePoints(theta, []int{2, 6, 12})); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := b.Predict(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ernestCurve(theta, 4)
+	if math.Abs(pred-want)/want > 0.25 {
+		t.Fatalf("Bell Predict(4) = %v, want ~%v", pred, want)
+	}
+}
+
+func TestBellErrors(t *testing.T) {
+	b := NewBell()
+	if _, err := b.Predict(2); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+	if err := b.Fit(nil); err != ErrNoData {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+// Property: Ernest predictions are finite and nonnegative-basis bounded
+// for arbitrary nonnegative training data.
+func TestQuickErnestFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{ScaleOut: 1 + rng.Intn(20), Runtime: rng.Float64() * 1000}
+		}
+		e := NewErnest()
+		if err := e.Fit(pts); err != nil {
+			return true // convergence failure acceptable, crash not
+		}
+		p, err := e.Predict(1 + rng.Intn(30))
+		if err != nil {
+			return false
+		}
+		return !math.IsNaN(p) && !math.IsInf(p, 0) && p >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the interpolator reproduces its knots exactly.
+func TestQuickInterpolatorKnots(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		seen := map[int]float64{}
+		var pts []Point
+		for i := 0; i < n; i++ {
+			x := 1 + rng.Intn(30)
+			y := rng.Float64() * 500
+			if _, dup := seen[x]; dup {
+				continue
+			}
+			seen[x] = y
+			pts = append(pts, Point{ScaleOut: x, Runtime: y})
+		}
+		ip := NewInterpolator()
+		if err := ip.Fit(pts); err != nil {
+			return false
+		}
+		for x, y := range seen {
+			got, err := ip.Predict(x)
+			if err != nil || math.Abs(got-y) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFitErnest(b *testing.B) {
+	theta := [4]float64{30, 200, 8, 1.5}
+	pts := curvePoints(theta, []int{2, 4, 6, 8, 10, 12})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := NewErnest().Fit(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitBell(b *testing.B) {
+	theta := [4]float64{30, 200, 8, 1.5}
+	pts := curvePoints(theta, []int{2, 4, 6, 8, 10, 12})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := NewBell().Fit(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bell is the hybrid model of Thamsen et al. (IPCCC'16): it trains both a
+// parametric model (Ernest) and a non-parametric model (interpolation)
+// and selects between them per job via internal leave-one-out
+// cross-validation over the distinct scale-outs. The cross-validation
+// needs at least three distinct scale-outs; below that it falls back to
+// the parametric model, which is why the paper notes "Bell requires at
+// least three data points".
+type Bell struct {
+	parametric    *Ernest
+	nonParametric *Interpolator
+	// UseNonParametric records which model won the cross-validation.
+	UseNonParametric bool
+	fitted           bool
+}
+
+// NewBell returns an unfitted Bell model.
+func NewBell() *Bell {
+	return &Bell{parametric: NewErnest(), nonParametric: NewInterpolator()}
+}
+
+// Fit implements Predictor.
+func (b *Bell) Fit(points []Point) error {
+	if len(points) == 0 {
+		return ErrNoData
+	}
+	if err := b.parametric.Fit(points); err != nil {
+		return fmt.Errorf("baselines: bell parametric: %w", err)
+	}
+	if err := b.nonParametric.Fit(points); err != nil {
+		return fmt.Errorf("baselines: bell non-parametric: %w", err)
+	}
+	b.fitted = true
+
+	distinct := distinctScaleOuts(points)
+	if len(distinct) < 3 {
+		b.UseNonParametric = false
+		return nil
+	}
+	pErr := crossValidate(points, distinct, func() Predictor { return NewErnest() })
+	npErr := crossValidate(points, distinct, func() Predictor { return NewInterpolator() })
+	b.UseNonParametric = npErr < pErr
+	return nil
+}
+
+// Predict implements Predictor.
+func (b *Bell) Predict(scaleOut int) (float64, error) {
+	if !b.fitted {
+		return 0, ErrNotFitted
+	}
+	if b.UseNonParametric {
+		return b.nonParametric.Predict(scaleOut)
+	}
+	return b.parametric.Predict(scaleOut)
+}
+
+// crossValidate computes the mean absolute leave-one-scale-out-out error
+// of the model family produced by mk.
+func crossValidate(points []Point, distinct []int, mk func() Predictor) float64 {
+	var total float64
+	var n int
+	for _, hold := range distinct {
+		var train, test []Point
+		for _, p := range points {
+			if p.ScaleOut == hold {
+				test = append(test, p)
+			} else {
+				train = append(train, p)
+			}
+		}
+		if len(train) == 0 || len(test) == 0 {
+			continue
+		}
+		m := mk()
+		if err := m.Fit(train); err != nil {
+			total += math.Inf(1)
+			continue
+		}
+		for _, p := range test {
+			pred, err := m.Predict(p.ScaleOut)
+			if err != nil {
+				total += math.Inf(1)
+				continue
+			}
+			total += math.Abs(pred - p.Runtime)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(n)
+}
+
+func distinctScaleOuts(points []Point) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range points {
+		if !seen[p.ScaleOut] {
+			seen[p.ScaleOut] = true
+			out = append(out, p.ScaleOut)
+		}
+	}
+	return out
+}

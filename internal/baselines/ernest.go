@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/nnls"
+)
+
+// Ernest is the parametric model of Venkataraman et al. (NSDI'16):
+//
+//	t(x) = θ1 + θ2·(1/x) + θ3·log(x) + θ4·x
+//
+// with θ >= 0 estimated by non-negative least squares (paper Eq. 1).
+type Ernest struct {
+	// Theta holds the fitted weights after Fit.
+	Theta []float64
+	fitted bool
+}
+
+// NewErnest returns an unfitted Ernest model.
+func NewErnest() *Ernest { return &Ernest{} }
+
+// Features computes Ernest's feature vector [1, 1/x, log x, x].
+func Features(scaleOut int) []float64 {
+	x := float64(scaleOut)
+	return []float64{1, 1 / x, math.Log(x), x}
+}
+
+// Fit implements Predictor.
+func (e *Ernest) Fit(points []Point) error {
+	if len(points) == 0 {
+		return ErrNoData
+	}
+	for _, p := range points {
+		if p.ScaleOut <= 0 {
+			return fmt.Errorf("baselines: ernest: scale-out %d must be positive", p.ScaleOut)
+		}
+	}
+	a := mat.NewDense(len(points), 4)
+	b := make([]float64, len(points))
+	for i, p := range points {
+		copy(a.Row(i), Features(p.ScaleOut))
+		b[i] = p.Runtime
+	}
+	theta, err := nnls.Solve(a, b)
+	if err != nil {
+		return fmt.Errorf("baselines: ernest fit: %w", err)
+	}
+	e.Theta = theta
+	e.fitted = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (e *Ernest) Predict(scaleOut int) (float64, error) {
+	if !e.fitted {
+		return 0, ErrNotFitted
+	}
+	if scaleOut <= 0 {
+		return 0, fmt.Errorf("baselines: ernest: scale-out %d must be positive", scaleOut)
+	}
+	return mat.Dot(e.Theta, Features(scaleOut)), nil
+}

@@ -1,0 +1,29 @@
+// Package baselines implements the two state-of-the-art comparison
+// methods of the Bellamy evaluation: Ernest's NNLS-fit parametric
+// scale-out model and Bell's hybrid parametric/non-parametric model with
+// internal cross-validation.
+package baselines
+
+import "errors"
+
+// Point is one training observation: a scale-out and the runtime seen
+// there.
+type Point struct {
+	ScaleOut int
+	Runtime  float64
+}
+
+// Predictor is the common interface of all runtime models in this
+// repository (baselines and Bellamy alike).
+type Predictor interface {
+	// Fit trains the model on the given observations.
+	Fit(points []Point) error
+	// Predict estimates the runtime at a scale-out.
+	Predict(scaleOut int) (float64, error)
+}
+
+// ErrNotFitted is returned by Predict before a successful Fit.
+var ErrNotFitted = errors.New("baselines: model not fitted")
+
+// ErrNoData is returned when Fit is called without any points.
+var ErrNoData = errors.New("baselines: no training points")

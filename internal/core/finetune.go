@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// Strategy selects how a (pre-trained) model is adapted to a concrete
+// context, covering both the standard fine-tuning of §IV-C1 and the
+// cross-environment reuse strategies of §IV-C2.
+type Strategy int
+
+const (
+	// StrategyPartialUnfreeze adapts z first and unfreezes f after a
+	// sample-count dependent number of epochs — the paper's default
+	// fine-tuning procedure.
+	StrategyPartialUnfreeze Strategy = iota
+	// StrategyFullUnfreeze adapts f and z from the start.
+	StrategyFullUnfreeze
+	// StrategyPartialReset re-initializes z, then fine-tunes.
+	StrategyPartialReset
+	// StrategyFullReset re-initializes both f and z, deriving a fresh
+	// understanding of the scale-out behaviour.
+	StrategyFullReset
+	// StrategyLocal trains f and z from scratch on the context data
+	// without any pre-training; the auto-encoder stays untrained
+	// (its random codes are constant within a single context).
+	StrategyLocal
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyPartialUnfreeze:
+		return "partial-unfreeze"
+	case StrategyFullUnfreeze:
+		return "full-unfreeze"
+	case StrategyPartialReset:
+		return "partial-reset"
+	case StrategyFullReset:
+		return "full-reset"
+	case StrategyLocal:
+		return "local"
+	default:
+		return "unknown"
+	}
+}
+
+// FinetuneOptions tunes the adaptation loop.
+type FinetuneOptions struct {
+	Strategy Strategy
+	// MaxEpochs overrides Config.FinetuneEpochs when positive.
+	MaxEpochs int
+	// Patience overrides Config.FinetunePatience when positive.
+	Patience int
+}
+
+// Finetune adapts the model to the samples of one concrete context
+// (paper step 2). In every strategy the auto-encoder parameters are
+// frozen; dropout is disabled; the learning rate follows cyclical
+// annealing; training stops early once the runtime MAE in seconds
+// reaches the target or stalls. The best model state (smallest MAE) is
+// restored before returning.
+func (m *Model) Finetune(samples []Sample, opts FinetuneOptions) (*TrainReport, error) {
+	if err := validateSamples(m.Cfg, samples); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cfg := m.Cfg
+
+	maxEpochs := cfg.FinetuneEpochs
+	if opts.MaxEpochs > 0 {
+		maxEpochs = opts.MaxEpochs
+	}
+	patience := cfg.FinetunePatience
+	if opts.Patience > 0 {
+		patience = opts.Patience
+	}
+
+	// The local strategy has no pre-training to inherit normalization
+	// bounds from; determine them from the context data. Reused models
+	// keep their pre-trained bounds and target scale (§IV-A).
+	if opts.Strategy == StrategyLocal || !m.norm.Fitted() {
+		feats := make([][]float64, len(samples))
+		runtimes := make([]float64, len(samples))
+		for i, s := range samples {
+			feats[i] = ScaleOutFeatures(s.ScaleOut)
+			runtimes[i] = s.RuntimeSec
+		}
+		m.norm = FitMinMax(feats)
+		m.target = FitTargetScaler(runtimes)
+	}
+
+	m.applyStrategy(opts.Strategy, len(samples))
+
+	params := m.Params()
+	opt := nn.NewAdam(cfg.FinetuneLRHigh, cfg.FinetuneWeightDecay)
+	sched := nn.CyclicalLR{Low: cfg.FinetuneLRLow, High: cfg.FinetuneLRHigh}
+	huber := nn.HuberLoss{Delta: cfg.HuberDelta}
+	stopper := nn.NewEarlyStopper(cfg.FinetuneTargetMAE, patience)
+
+	unfreezeEpoch := cfg.UnfreezeAfterPerSample * len(samples)
+	report := &TrainReport{}
+	var bestState nn.State
+
+	b := m.buildBatch(samples)
+	for epoch := 0; epoch < maxEpochs; epoch++ {
+		if opts.Strategy == StrategyPartialUnfreeze || opts.Strategy == StrategyPartialReset {
+			if epoch == unfreezeEpoch {
+				nn.Freeze(m.componentParams("f"), false)
+			}
+		}
+		opt.SetLR(sched.Rate(epoch))
+
+		st := m.forward(b, true, false)
+		nn.ZeroGrads(params)
+		rLoss, rGrad := huber.Compute(st.pred, b.targets)
+		m.backward(st, rGrad, nil)
+		nn.GradClip(params, cfg.GradClipNorm)
+		opt.Step(params)
+
+		report.FinalRuntimeLoss = rLoss
+		report.Epochs = epoch + 1
+
+		mae := m.evalMAE(samples)
+		improved, stop := stopper.Observe(epoch, mae)
+		if improved {
+			bestState = nn.CaptureState(params)
+		}
+		if stop {
+			break
+		}
+	}
+	if bestState != nil {
+		if err := nn.RestoreState(params, bestState); err != nil {
+			return nil, fmt.Errorf("core: restoring best fine-tuning state: %w", err)
+		}
+	}
+	report.BestMAE, report.BestEpoch = stopper.Best()
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// applyStrategy configures freezing and re-initialization per strategy.
+// In all strategies the auto-encoder (g, h) is frozen (§IV-C2: "the
+// parameters of our auto-encoder are not subject to changes").
+func (m *Model) applyStrategy(s Strategy, numSamples int) {
+	nn.Freeze(m.componentParams("g"), true)
+	nn.Freeze(m.componentParams("h"), true)
+	switch s {
+	case StrategyPartialUnfreeze:
+		nn.Freeze(m.componentParams("f"), true) // unfrozen later
+		nn.Freeze(m.componentParams("z"), false)
+	case StrategyFullUnfreeze, StrategyLocal:
+		nn.Freeze(m.componentParams("f"), false)
+		nn.Freeze(m.componentParams("z"), false)
+	case StrategyPartialReset:
+		m.reinit("z")
+		nn.Freeze(m.componentParams("f"), true) // unfrozen later
+		nn.Freeze(m.componentParams("z"), false)
+	case StrategyFullReset:
+		m.reinit("f")
+		m.reinit("z")
+		nn.Freeze(m.componentParams("f"), false)
+		nn.Freeze(m.componentParams("z"), false)
+	default:
+		panic("core: unknown strategy")
+	}
+}
+
+// reinit redraws the weights of one component from the init scheme.
+func (m *Model) reinit(name string) {
+	for _, p := range m.componentParams(name) {
+		if p.Value.Rows == 1 { // bias row vector
+			p.Value.Zero()
+			continue
+		}
+		nn.InitDense(p.Value, m.Cfg.Init, m.rng)
+	}
+}
+
+// FitLocal is a convenience wrapper: train a fresh model on context data
+// only (the paper's "local" Bellamy variant).
+func FitLocal(cfg Config, samples []Sample, opts FinetuneOptions) (*Model, *TrainReport, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.Strategy = StrategyLocal
+	rep, err := m.Finetune(samples, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, rep, nil
+}

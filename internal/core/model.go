@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/encoding"
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// Model is the Bellamy architecture of Fig. 3: the scale-out network f,
+// the property auto-encoder g/h, and the runtime predictor z, together
+// with the feature normalizer and target scaler fixed at training time.
+type Model struct {
+	Cfg Config
+
+	f *nn.MLP // scale-out modeling: 3 -> ScaleOutHidden -> F
+	g *nn.MLP // encoder: N -> EncoderHidden -> M (no biases)
+	h *nn.MLP // decoder: M -> EncoderHidden -> N (no biases, tanh out)
+	z *nn.MLP // predictor: F+(m+1)M -> PredictorHidden -> 1
+
+	norm   *MinMaxNormalizer
+	target *TargetScaler
+	enc    *encoding.PropertyEncoder
+	rng    *rand.Rand
+
+	pretrained bool
+}
+
+// New builds an initialized (untrained) Bellamy model.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	act := nn.ActivationByName(cfg.Activation)
+	m := &Model{
+		Cfg: cfg,
+		f: nn.TwoLayerSpec{
+			Name: "f", In: 3, Hidden: cfg.ScaleOutHidden, Out: cfg.ScaleOutDim,
+			ActHidden: act, ActOut: act, WithBias: true, Init: cfg.Init,
+		}.Build(rng),
+		g: nn.TwoLayerSpec{
+			Name: "g", In: cfg.PropertySize, Hidden: cfg.EncoderHidden, Out: cfg.EncodingDim,
+			ActHidden: act, ActOut: act, WithBias: false,
+			Dropout: cfg.Dropout, Init: cfg.Init,
+		}.Build(rng),
+		h: nn.TwoLayerSpec{
+			Name: "h", In: cfg.EncodingDim, Hidden: cfg.EncoderHidden, Out: cfg.PropertySize,
+			ActHidden: act, ActOut: nn.Tanh{}, WithBias: false,
+			Dropout: cfg.Dropout, Init: cfg.Init,
+		}.Build(rng),
+		z: nn.TwoLayerSpec{
+			Name: "z", In: cfg.CombinedDim(), Hidden: cfg.PredictorHidden, Out: 1,
+			ActHidden: act, ActOut: nn.Identity{}, WithBias: true, Init: cfg.Init,
+		}.Build(rng),
+		norm:   &MinMaxNormalizer{},
+		target: &TargetScaler{Scale: 1},
+		enc:    encoding.NewPropertyEncoder(cfg.PropertySize),
+		rng:    rng,
+	}
+	return m, nil
+}
+
+// Params returns all learnable parameters grouped by component.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.f.Params()...)
+	ps = append(ps, m.g.Params()...)
+	ps = append(ps, m.h.Params()...)
+	ps = append(ps, m.z.Params()...)
+	return ps
+}
+
+// componentParams exposes each network's parameters for the freeze
+// schedules of fine-tuning and the reuse strategies.
+func (m *Model) componentParams(name string) []*nn.Param {
+	switch name {
+	case "f":
+		return m.f.Params()
+	case "g":
+		return m.g.Params()
+	case "h":
+		return m.h.Params()
+	case "z":
+		return m.z.Params()
+	default:
+		panic("core: unknown component " + name)
+	}
+}
+
+// Pretrained reports whether the model went through Pretrain.
+func (m *Model) Pretrained() bool { return m.pretrained }
+
+// batch is the matrix representation of a set of samples.
+type batch struct {
+	scaleFeat *mat.Dense // B x 3, normalized
+	propVecs  *mat.Dense // (B * P) x N, P = NumEssential + NumOptional slots used
+	propsPer  int        // properties per sample actually encoded
+	numOpt    []int      // count of optional properties per sample
+	targets   *mat.Dense // B x 1, scaled runtimes
+	runtimes  []float64  // raw seconds
+}
+
+// buildBatch encodes samples into matrices. Optional properties may be
+// fewer than cfg.NumOptional; missing ones contribute nothing to the
+// optional mean.
+func (m *Model) buildBatch(samples []Sample) *batch {
+	cfg := m.Cfg
+	bSize := len(samples)
+	propsPer := cfg.NumEssential + cfg.NumOptional
+	b := &batch{
+		scaleFeat: mat.NewDense(bSize, 3),
+		propVecs:  mat.NewDense(bSize*propsPer, cfg.PropertySize),
+		propsPer:  propsPer,
+		numOpt:    make([]int, bSize),
+		targets:   mat.NewDense(bSize, 1),
+		runtimes:  make([]float64, bSize),
+	}
+	for i, s := range samples {
+		copy(b.scaleFeat.Row(i), m.norm.Transform(ScaleOutFeatures(s.ScaleOut)))
+		for k, p := range s.Essential {
+			v, _ := m.enc.Encode(p.Value)
+			copy(b.propVecs.Row(i*propsPer+k), v)
+		}
+		b.numOpt[i] = len(s.Optional)
+		for k, p := range s.Optional {
+			v, _ := m.enc.Encode(p.Value)
+			copy(b.propVecs.Row(i*propsPer+cfg.NumEssential+k), v)
+		}
+		b.targets.Set(i, 0, m.target.ToScaled(s.RuntimeSec))
+		b.runtimes[i] = s.RuntimeSec
+	}
+	return b
+}
+
+// forward runs the full architecture on a batch, returning the scaled
+// runtime predictions together with every intermediate needed for the
+// backward pass.
+type forwardState struct {
+	b       *batch
+	e       *mat.Dense // B x F
+	codes   *mat.Dense // (B*P) x M
+	recon   *mat.Dense // (B*P) x N
+	r       *mat.Dense // B x CombinedDim
+	pred    *mat.Dense // B x 1 (scaled)
+	train   bool
+	doRecon bool
+}
+
+func (m *Model) forward(b *batch, train, doRecon bool) *forwardState {
+	cfg := m.Cfg
+	st := &forwardState{b: b, train: train, doRecon: doRecon}
+	st.e = m.f.Forward(b.scaleFeat, train)
+	st.codes = m.g.Forward(b.propVecs, train)
+	if doRecon {
+		st.recon = m.h.Forward(st.codes, train)
+	}
+	// Assemble r = e ⊕ essential codes ⊕ mean(optional codes) (Eq. 5).
+	bSize := b.scaleFeat.Rows
+	st.r = mat.NewDense(bSize, cfg.CombinedDim())
+	for i := 0; i < bSize; i++ {
+		row := st.r.Row(i)
+		copy(row[:cfg.ScaleOutDim], st.e.Row(i))
+		off := cfg.ScaleOutDim
+		for k := 0; k < cfg.NumEssential; k++ {
+			copy(row[off:off+cfg.EncodingDim], st.codes.Row(i*b.propsPer+k))
+			off += cfg.EncodingDim
+		}
+		nOpt := b.numOpt[i]
+		if nOpt > 0 {
+			for k := 0; k < nOpt; k++ {
+				code := st.codes.Row(i*b.propsPer + cfg.NumEssential + k)
+				for j := 0; j < cfg.EncodingDim; j++ {
+					row[off+j] += code[j] / float64(nOpt)
+				}
+			}
+		}
+	}
+	st.pred = m.z.Forward(st.r, train)
+	return st
+}
+
+// backward propagates the joint loss gradients: predGrad is dLoss/dPred
+// (scaled space), reconGrad is dLoss/dRecon or nil when the
+// reconstruction term is disabled. Parameter gradients are accumulated;
+// the caller steps the optimizer.
+func (m *Model) backward(st *forwardState, predGrad, reconGrad *mat.Dense) {
+	cfg := m.Cfg
+	gradR := m.z.Backward(predGrad)
+
+	// Split gradR into the f part and the code parts.
+	bSize := gradR.Rows
+	gradE := mat.SliceCols(gradR, 0, cfg.ScaleOutDim)
+	gradCodes := mat.NewDense(st.codes.Rows, cfg.EncodingDim)
+	for i := 0; i < bSize; i++ {
+		row := gradR.Row(i)
+		off := cfg.ScaleOutDim
+		for k := 0; k < cfg.NumEssential; k++ {
+			copy(gradCodes.Row(i*st.b.propsPer+k), row[off:off+cfg.EncodingDim])
+			off += cfg.EncodingDim
+		}
+		nOpt := st.b.numOpt[i]
+		if nOpt > 0 {
+			for k := 0; k < nOpt; k++ {
+				dst := gradCodes.Row(i*st.b.propsPer + cfg.NumEssential + k)
+				for j := 0; j < cfg.EncodingDim; j++ {
+					dst[j] = row[off+j] / float64(nOpt)
+				}
+			}
+		}
+	}
+	if reconGrad != nil {
+		mat.AddInPlace(gradCodes, m.h.Backward(reconGrad))
+	}
+	m.g.Backward(gradCodes)
+	m.f.Backward(gradE)
+}
+
+// Predict estimates the runtime in seconds for a scale-out and context
+// properties. The model must have been trained (pre-trained and/or
+// fitted) for the estimate to be meaningful.
+func (m *Model) Predict(scaleOut int, essential, optional []encoding.Property) (float64, error) {
+	if scaleOut <= 0 {
+		return 0, fmt.Errorf("core: scale-out %d must be positive", scaleOut)
+	}
+	if len(essential) != m.Cfg.NumEssential {
+		return 0, fmt.Errorf("core: got %d essential properties, model expects %d",
+			len(essential), m.Cfg.NumEssential)
+	}
+	if len(optional) > m.Cfg.NumOptional {
+		return 0, fmt.Errorf("core: got %d optional properties, model allows %d",
+			len(optional), m.Cfg.NumOptional)
+	}
+	s := Sample{ScaleOut: scaleOut, Essential: essential, Optional: optional, RuntimeSec: 1}
+	b := m.buildBatch([]Sample{s})
+	st := m.forward(b, false, false)
+	return m.target.ToSeconds(st.pred.At(0, 0)), nil
+}
+
+// PropertyCodes returns the dense codes the encoder assigns to each
+// property, the representation visualized in the paper's Fig. 4.
+func (m *Model) PropertyCodes(props []encoding.Property) [][]float64 {
+	vecs := m.enc.EncodeAll(props)
+	in := mat.FromRows(vecs)
+	codes := m.g.Forward(in, false)
+	out := make([][]float64, codes.Rows)
+	for i := range out {
+		row := make([]float64, codes.Cols)
+		copy(row, codes.Row(i))
+		out[i] = row
+	}
+	return out
+}
+
+// ReconstructionError returns the mean squared reconstruction error of
+// the auto-encoder over the given properties.
+func (m *Model) ReconstructionError(props []encoding.Property) float64 {
+	vecs := m.enc.EncodeAll(props)
+	in := mat.FromRows(vecs)
+	codes := m.g.Forward(in, false)
+	recon := m.h.Forward(codes, false)
+	loss, _ := nn.MSELoss{}.Compute(recon, in)
+	return loss
+}

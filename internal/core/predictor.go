@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/encoding"
+)
+
+// ContextPredictor binds a Bellamy model to one execution context's
+// properties so it satisfies the same Predictor interface as the
+// baselines: Fit fine-tunes on the provided scale-out/runtime points and
+// Predict estimates runtimes at new scale-outs.
+type ContextPredictor struct {
+	Model     *Model
+	Essential []encoding.Property
+	Optional  []encoding.Property
+	Opts      FinetuneOptions
+
+	// Report holds the fit report of the last Fit call.
+	Report *TrainReport
+	fitted bool
+}
+
+// NewContextPredictor wraps model for a concrete context.
+func NewContextPredictor(model *Model, essential, optional []encoding.Property, opts FinetuneOptions) *ContextPredictor {
+	return &ContextPredictor{Model: model, Essential: essential, Optional: optional, Opts: opts}
+}
+
+// Fit implements baselines.Predictor by fine-tuning on the points. An
+// empty point set is allowed for pre-trained models: the paper applies
+// them in new contexts "without any seen data points" (zero-shot
+// extrapolation), so Fit(nil) is a no-op.
+func (cp *ContextPredictor) Fit(points []baselines.Point) error {
+	if len(points) == 0 {
+		if cp.Model.Pretrained() {
+			cp.fitted = true
+			return nil
+		}
+		return baselines.ErrNoData
+	}
+	samples := make([]Sample, len(points))
+	for i, p := range points {
+		samples[i] = Sample{
+			ScaleOut:   p.ScaleOut,
+			Essential:  cp.Essential,
+			Optional:   cp.Optional,
+			RuntimeSec: p.Runtime,
+		}
+	}
+	rep, err := cp.Model.Finetune(samples, cp.Opts)
+	if err != nil {
+		return err
+	}
+	cp.Report = rep
+	cp.fitted = true
+	return nil
+}
+
+// Predict implements baselines.Predictor.
+func (cp *ContextPredictor) Predict(scaleOut int) (float64, error) {
+	if !cp.fitted {
+		return 0, baselines.ErrNotFitted
+	}
+	return cp.Model.Predict(scaleOut, cp.Essential, cp.Optional)
+}

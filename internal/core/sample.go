@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/encoding"
+)
+
+// Sample is one training observation for the Bellamy model: a scale-out,
+// the descriptive properties of the execution context, and the observed
+// runtime in seconds.
+type Sample struct {
+	ScaleOut   int
+	Essential  []encoding.Property
+	Optional   []encoding.Property
+	RuntimeSec float64
+}
+
+// SamplesFromExecutions converts dataset executions into model samples
+// using the paper's property selection (essential: dataset size, dataset
+// characteristics, job parameters, node type; optional: memory, cores,
+// job name).
+func SamplesFromExecutions(execs []dataset.Execution) []Sample {
+	out := make([]Sample, len(execs))
+	for i, e := range execs {
+		out[i] = Sample{
+			ScaleOut:   e.ScaleOut,
+			Essential:  e.Context.EssentialProps(),
+			Optional:   e.Context.OptionalProps(),
+			RuntimeSec: e.RuntimeSec,
+		}
+	}
+	return out
+}
+
+// validateSamples checks that every sample matches the model's expected
+// property counts and has positive scale-out and runtime.
+func validateSamples(cfg Config, samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("core: no samples")
+	}
+	for i, s := range samples {
+		if s.ScaleOut <= 0 {
+			return fmt.Errorf("core: sample %d scale-out %d must be positive", i, s.ScaleOut)
+		}
+		if s.RuntimeSec <= 0 {
+			return fmt.Errorf("core: sample %d runtime %v must be positive", i, s.RuntimeSec)
+		}
+		if len(s.Essential) != cfg.NumEssential {
+			return fmt.Errorf("core: sample %d has %d essential properties, model expects %d",
+				i, len(s.Essential), cfg.NumEssential)
+		}
+		if len(s.Optional) > cfg.NumOptional {
+			return fmt.Errorf("core: sample %d has %d optional properties, model allows %d",
+				i, len(s.Optional), cfg.NumOptional)
+		}
+	}
+	return nil
+}

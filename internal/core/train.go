@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mat"
+	"repro/internal/nn"
+)
+
+// TrainReport summarizes a training run.
+type TrainReport struct {
+	// Epochs is the number of epochs actually executed.
+	Epochs int
+	// BestMAE is the best runtime MAE in seconds seen during training.
+	BestMAE float64
+	// BestEpoch is the epoch at which BestMAE occurred.
+	BestEpoch int
+	// FinalRuntimeLoss and FinalReconLoss are the last epoch's mean
+	// losses (scaled space).
+	FinalRuntimeLoss float64
+	FinalReconLoss   float64
+	// Duration is the wall-clock training time.
+	Duration time.Duration
+}
+
+// Pretrain trains the full architecture jointly on a cross-context corpus
+// (paper step 1): Huber runtime loss plus MSE reconstruction loss, Adam
+// with weight decay, alpha-dropout active. Feature normalization bounds
+// and the target scale are determined here and reused for all later
+// fine-tuning and inference.
+func (m *Model) Pretrain(samples []Sample) (*TrainReport, error) {
+	if err := validateSamples(m.Cfg, samples); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Determine normalization bounds from the corpus (§IV-A).
+	feats := make([][]float64, len(samples))
+	runtimes := make([]float64, len(samples))
+	for i, s := range samples {
+		feats[i] = ScaleOutFeatures(s.ScaleOut)
+		runtimes[i] = s.RuntimeSec
+	}
+	m.norm = FitMinMax(feats)
+	m.target = FitTargetScaler(runtimes)
+
+	params := m.Params()
+	nn.Freeze(params, false)
+	opt := nn.NewAdam(m.Cfg.LearningRate, m.Cfg.WeightDecay)
+	huber := nn.HuberLoss{Delta: m.Cfg.HuberDelta}
+	mse := nn.MSELoss{}
+
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	best := nn.NewEarlyStopper(0, 0) // track best only; no early stop in pre-training
+	var bestState nn.State
+	report := &TrainReport{}
+
+	for epoch := 0; epoch < m.Cfg.PretrainEpochs; epoch++ {
+		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochRuntime, epochRecon float64
+		var batches int
+		for lo := 0; lo < len(idx); lo += m.Cfg.BatchSize {
+			hi := lo + m.Cfg.BatchSize
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			sub := make([]Sample, 0, hi-lo)
+			for _, j := range idx[lo:hi] {
+				sub = append(sub, samples[j])
+			}
+			b := m.buildBatch(sub)
+			doRecon := m.Cfg.ReconWeight > 0
+			st := m.forward(b, true, doRecon)
+
+			nn.ZeroGrads(params)
+			rLoss, rGrad := huber.Compute(st.pred, b.targets)
+			var reconLoss float64
+			var reconGrad *mat.Dense
+			if doRecon {
+				reconLoss, reconGrad = mse.Compute(st.recon, b.propVecs)
+				if m.Cfg.ReconWeight != 1 {
+					reconGrad = mat.Scale(m.Cfg.ReconWeight, reconGrad)
+				}
+			}
+			m.backward(st, rGrad, reconGrad)
+			nn.GradClip(params, m.Cfg.GradClipNorm)
+			opt.Step(params)
+
+			epochRuntime += rLoss
+			epochRecon += reconLoss
+			batches++
+		}
+		report.FinalRuntimeLoss = epochRuntime / float64(batches)
+		report.FinalReconLoss = epochRecon / float64(batches)
+		report.Epochs = epoch + 1
+
+		// Track the best state by full-corpus MAE in seconds.
+		mae := m.evalMAE(samples)
+		if improved, _ := best.Observe(epoch, mae); improved {
+			bestState = nn.CaptureState(params)
+		}
+	}
+	if bestState != nil {
+		if err := nn.RestoreState(params, bestState); err != nil {
+			return nil, fmt.Errorf("core: restoring best pre-training state: %w", err)
+		}
+	}
+	report.BestMAE, report.BestEpoch = best.Best()
+	report.Duration = time.Since(start)
+	m.pretrained = true
+	return report, nil
+}
+
+// evalMAE computes the runtime MAE in seconds over samples with the model
+// in eval mode.
+func (m *Model) evalMAE(samples []Sample) float64 {
+	b := m.buildBatch(samples)
+	st := m.forward(b, false, false)
+	var sum float64
+	for i, r := range b.runtimes {
+		pred := m.target.ToSeconds(st.pred.At(i, 0))
+		if pred > r {
+			sum += pred - r
+		} else {
+			sum += r - pred
+		}
+	}
+	return sum / float64(len(samples))
+}

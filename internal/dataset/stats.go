@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+)
+
+// NormalizedCurve is the runtime curve of one context with runtimes
+// scaled into [0, 1] by the context's max mean runtime — the
+// representation behind the paper's Fig. 2.
+type NormalizedCurve struct {
+	ContextID string
+	ScaleOuts []int
+	// Normalized holds mean runtime / max mean runtime per scale-out.
+	Normalized []float64
+}
+
+// NormalizedCurves computes per-context normalized runtime curves for a
+// job.
+func NormalizedCurves(d *Dataset, job string) []NormalizedCurve {
+	var out []NormalizedCurve
+	for _, ctx := range d.Contexts(job) {
+		execs := d.ForContext(ctx.ID)
+		means := MeanRuntimeByScaleOut(execs)
+		xs := ScaleOuts(execs)
+		maxMean := 0.0
+		for _, m := range means {
+			if m > maxMean {
+				maxMean = m
+			}
+		}
+		if maxMean == 0 {
+			continue
+		}
+		curve := NormalizedCurve{ContextID: ctx.ID, ScaleOuts: xs}
+		for _, x := range xs {
+			curve.Normalized = append(curve.Normalized, means[x]/maxMean)
+		}
+		out = append(out, curve)
+	}
+	return out
+}
+
+// VarianceSummary quantifies how much normalized runtime varies across
+// contexts at each scale-out (Fig. 2's message: the same algorithm's
+// scale-out curve looks very different depending on the context).
+type VarianceSummary struct {
+	Job       string
+	ScaleOuts []int
+	// Mean and StdDev of the normalized runtime across contexts.
+	Mean, StdDev []float64
+	// Min and Max envelope across contexts.
+	Min, Max []float64
+}
+
+// RuntimeVariance summarizes the cross-context spread of normalized
+// runtimes for a job.
+func RuntimeVariance(d *Dataset, job string) VarianceSummary {
+	curves := NormalizedCurves(d, job)
+	byScale := map[int][]float64{}
+	for _, c := range curves {
+		for i, x := range c.ScaleOuts {
+			byScale[x] = append(byScale[x], c.Normalized[i])
+		}
+	}
+	var xs []int
+	for x := range byScale {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	out := VarianceSummary{Job: job, ScaleOuts: xs}
+	for _, x := range xs {
+		vals := byScale[x]
+		mean := meanOf(vals)
+		out.Mean = append(out.Mean, mean)
+		out.StdDev = append(out.StdDev, stdOf(vals, mean))
+		mn, mx := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+		}
+		out.Min = append(out.Min, mn)
+		out.Max = append(out.Max, mx)
+	}
+	return out
+}
+
+func meanOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func stdOf(vals []float64, mean float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	var sq float64
+	for _, v := range vals {
+		sq += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(sq / float64(len(vals)-1))
+}

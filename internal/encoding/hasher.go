@@ -1,0 +1,82 @@
+package encoding
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Hasher is a feature-hashing vectorizer over character n-grams. It
+// reproduces scikit-learn's HashingVectorizer behaviour at the level the
+// paper relies on: term occurrences are counted at hashed indices (with a
+// sign hash to reduce collision bias) and the result is projected onto the
+// euclidean unit sphere.
+type Hasher struct {
+	// Dim is the output dimensionality L.
+	Dim int
+	// Vocab cleans input strings; nil means DefaultVocab.
+	Vocab *Vocabulary
+	// NGramSizes defaults to {1, 2, 3}.
+	NGramSizes []int
+	// Signed applies an alternating sign hash like scikit-learn's
+	// alternate_sign=True to spread collisions.
+	Signed bool
+}
+
+// NewHasher builds a hasher with paper defaults (unigrams..trigrams,
+// default vocabulary, signed hashing).
+func NewHasher(dim int) *Hasher {
+	return &Hasher{Dim: dim, Vocab: DefaultVocab(), NGramSizes: []int{1, 2, 3}, Signed: true}
+}
+
+// Encode vectorizes s into a dense unit-norm vector of length Dim. The
+// zero vector is returned when s contains no in-vocabulary characters.
+func (h *Hasher) Encode(s string) []float64 {
+	if h.Dim <= 0 {
+		panic("encoding: Hasher.Dim must be positive")
+	}
+	vocab := h.Vocab
+	if vocab == nil {
+		vocab = DefaultVocab()
+	}
+	sizes := h.NGramSizes
+	if len(sizes) == 0 {
+		sizes = []int{1, 2, 3}
+	}
+	out := make([]float64, h.Dim)
+	cleaned := vocab.Clean(s)
+	for _, term := range NGrams(cleaned, sizes...) {
+		idx, sign := h.hashTerm(term)
+		out[idx] += sign
+	}
+	normalizeUnit(out)
+	return out
+}
+
+// hashTerm maps a term to (index, sign) using FNV-1a.
+func (h *Hasher) hashTerm(term string) (int, float64) {
+	hs := fnv.New64a()
+	hs.Write([]byte(term)) //nolint:errcheck // hash.Write never fails
+	sum := hs.Sum64()
+	idx := int(sum % uint64(h.Dim))
+	sign := 1.0
+	if h.Signed && (sum>>63)&1 == 1 {
+		sign = -1.0
+	}
+	return idx, sign
+}
+
+// normalizeUnit projects v onto the unit sphere in place; the zero vector
+// is left untouched.
+func normalizeUnit(v []float64) {
+	var sq float64
+	for _, x := range v {
+		sq += x * x
+	}
+	if sq == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sq)
+	for i := range v {
+		v[i] *= inv
+	}
+}

@@ -1,0 +1,89 @@
+package encoding
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind reports which encoding method was used for a property, reflected
+// in the λ prefix bit of the output vector (paper Eq. 3).
+type Kind int
+
+const (
+	// KindHashed marks textual properties encoded by the hasher (λ=0).
+	KindHashed Kind = iota
+	// KindBinary marks natural numbers encoded by the binarizer (λ=1).
+	KindBinary
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindBinary {
+		return "binary"
+	}
+	return "hashed"
+}
+
+// PropertyEncoder turns a single descriptive property into a fixed-size
+// vector p ∈ R^N: a λ prefix followed by L = N-1 payload dimensions from
+// either the binarizer (natural numbers) or the hasher (text).
+type PropertyEncoder struct {
+	// N is the total output size; the paper uses 40.
+	N         int
+	hasher    *Hasher
+	binarizer *Binarizer
+}
+
+// DefaultPropertySize is the paper's property vector size N=40.
+const DefaultPropertySize = 40
+
+// NewPropertyEncoder builds an encoder producing vectors of size n.
+func NewPropertyEncoder(n int) *PropertyEncoder {
+	if n < 2 {
+		panic(fmt.Sprintf("encoding: property size %d too small (need >= 2)", n))
+	}
+	return &PropertyEncoder{
+		N:         n,
+		hasher:    NewHasher(n - 1),
+		binarizer: NewBinarizer(n - 1),
+	}
+}
+
+// Encode vectorizes the property value. Values parsing as natural numbers
+// that fit in L bits use the binarizer; everything else is hashed. The
+// second return reports which method was chosen.
+func (e *PropertyEncoder) Encode(value string) ([]float64, Kind) {
+	if v, err := strconv.ParseUint(value, 10, 64); err == nil {
+		if bits, berr := e.binarizer.Encode(v); berr == nil {
+			out := make([]float64, e.N)
+			out[0] = 1 // λ = 1: binarizer
+			copy(out[1:], bits)
+			return out, KindBinary
+		}
+		// Too large to binarize: fall through to hashing its digits.
+	}
+	out := make([]float64, e.N)
+	out[0] = 0 // λ = 0: hasher
+	copy(out[1:], e.hasher.Encode(value))
+	return out, KindHashed
+}
+
+// Property is one named descriptive property of a job execution context.
+type Property struct {
+	Name  string
+	Value string
+	// Optional marks properties averaged into the shared slot rather
+	// than given dedicated capacity (paper Eq. 5-6).
+	Optional bool
+}
+
+// EncodeAll vectorizes a list of properties in order, returning one
+// vector per property.
+func (e *PropertyEncoder) EncodeAll(props []Property) [][]float64 {
+	out := make([][]float64, len(props))
+	for i, p := range props {
+		v, _ := e.Encode(p.Value)
+		out[i] = v
+	}
+	return out
+}

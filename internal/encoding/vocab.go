@@ -1,0 +1,64 @@
+// Package encoding implements Bellamy's descriptive-property encoding
+// (paper §III-C): natural numbers are binarized, textual properties are
+// hashed from character n-grams onto the euclidean unit sphere, and every
+// property is prefixed with a flag bit identifying the method used.
+package encoding
+
+import "strings"
+
+// DefaultVocabulary is the case-insensitive character vocabulary used to
+// clean textual properties before n-gram extraction: alphanumeric
+// characters plus a handful of special symbols, mirroring the paper's
+// setup.
+const DefaultVocabulary = "abcdefghijklmnopqrstuvwxyz0123456789.-_ =/"
+
+// Vocabulary filters characters of textual properties.
+type Vocabulary struct {
+	allowed map[rune]bool
+}
+
+// NewVocabulary builds a case-insensitive vocabulary from the given
+// character set.
+func NewVocabulary(chars string) *Vocabulary {
+	v := &Vocabulary{allowed: make(map[rune]bool, len(chars))}
+	for _, r := range strings.ToLower(chars) {
+		v.allowed[r] = true
+	}
+	return v
+}
+
+// DefaultVocab returns the vocabulary built from DefaultVocabulary.
+func DefaultVocab() *Vocabulary { return NewVocabulary(DefaultVocabulary) }
+
+// Clean lower-cases s and strips every character outside the vocabulary.
+func (v *Vocabulary) Clean(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range strings.ToLower(s) {
+		if v.allowed[r] {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Contains reports whether r (lower-cased) is in the vocabulary.
+func (v *Vocabulary) Contains(r rune) bool {
+	return v.allowed[r]
+}
+
+// NGrams extracts all contiguous character n-grams of the given sizes from
+// s. The paper uses unigrams, bigrams and trigrams (sizes 1..3).
+func NGrams(s string, sizes ...int) []string {
+	runes := []rune(s)
+	var out []string
+	for _, n := range sizes {
+		if n <= 0 {
+			continue
+		}
+		for i := 0; i+n <= len(runes); i++ {
+			out = append(out, string(runes[i:i+n]))
+		}
+	}
+	return out
+}

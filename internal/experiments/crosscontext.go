@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// CrossContextConfig parameterizes the ad hoc cross-context learning
+// experiment (§IV-C1), the source of Fig. 5, Fig. 6, Fig. 7 and the
+// fit-time observations.
+type CrossContextConfig struct {
+	// Seed drives context choice, split sampling and model init.
+	Seed int64
+	// Jobs to evaluate; nil selects all five C3O algorithms.
+	Jobs []string
+	// ContextsPerJob is the number of randomly chosen target contexts
+	// (paper: 7, each node type present at least once).
+	ContextsPerJob int
+	// MaxSplits bounds the unique splits per training size (paper: 200).
+	MaxSplits int
+	// PointCounts are the interpolation training sizes (paper: 1..6).
+	PointCounts []int
+	// Model is the Bellamy configuration; epoch counts inside it control
+	// the pre-training and fine-tuning budgets.
+	Model core.Config
+	// Workers bounds experiment parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultCrossContextConfig returns a configuration that reproduces the
+// paper's experiment shape at a laptop-scale budget. Raise MaxSplits to
+// 200 and the model epochs to Table I values for the full run.
+func DefaultCrossContextConfig() CrossContextConfig {
+	cfg := core.DefaultConfig()
+	cfg.PretrainEpochs = 250
+	cfg.FinetuneEpochs = 400
+	cfg.FinetunePatience = 150
+	return CrossContextConfig{
+		Seed:           1,
+		ContextsPerJob: 7,
+		MaxSplits:      30,
+		PointCounts:    []int{1, 2, 3, 4, 5, 6},
+		Model:          cfg,
+	}
+}
+
+// CrossContextResult aggregates every measurement of the experiment.
+type CrossContextResult struct {
+	Measurements []Measurement
+	// PretrainSeconds records the pre-training wall time per
+	// (job, context, method).
+	PretrainSeconds map[string]float64
+}
+
+// RunCrossContext executes the experiment on a C3O-style dataset.
+func RunCrossContext(ds *dataset.Dataset, cfg CrossContextConfig) (*CrossContextResult, error) {
+	if cfg.ContextsPerJob <= 0 || cfg.MaxSplits <= 0 {
+		return nil, fmt.Errorf("experiments: ContextsPerJob and MaxSplits must be positive")
+	}
+	jobs := cfg.Jobs
+	if len(jobs) == 0 {
+		jobs = ds.Jobs()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &CrossContextResult{PretrainSeconds: map[string]float64{}}
+
+	for _, job := range jobs {
+		targets, err := chooseTargetContexts(ds, job, cfg.ContextsPerJob, rng)
+		if err != nil {
+			return nil, err
+		}
+		// Per-context work units; run in parallel, collect deterministically.
+		type ctxOut struct {
+			ms       []Measurement
+			pretrain map[string]float64
+			err      error
+		}
+		seeds := make([]int64, len(targets))
+		for i := range seeds {
+			seeds[i] = rng.Int63()
+		}
+		outs := parallel.Map(len(targets), cfg.Workers, func(i int) ctxOut {
+			ms, pt, err := runCrossContextTarget(ds, job, targets[i], cfg, seeds[i])
+			return ctxOut{ms, pt, err}
+		})
+		for _, o := range outs {
+			if o.err != nil {
+				return nil, o.err
+			}
+			res.Measurements = append(res.Measurements, o.ms...)
+			for k, v := range o.pretrain {
+				res.PretrainSeconds[k] = v
+			}
+		}
+	}
+	return res, nil
+}
+
+// chooseTargetContexts picks n random contexts of a job ensuring every
+// node type appearing in the dataset is present at least once among the
+// chosen contexts (paper §IV-C1).
+func chooseTargetContexts(ds *dataset.Dataset, job string, n int, rng *rand.Rand) ([]*dataset.Context, error) {
+	all := ds.Contexts(job)
+	if len(all) == 0 {
+		return nil, fmt.Errorf("experiments: job %q has no contexts", job)
+	}
+	if n >= len(all) {
+		return all, nil
+	}
+	// Group contexts by node type and pick one of each first.
+	byNode := map[string][]*dataset.Context{}
+	var nodeOrder []string
+	for _, c := range all {
+		if len(byNode[c.NodeType]) == 0 {
+			nodeOrder = append(nodeOrder, c.NodeType)
+		}
+		byNode[c.NodeType] = append(byNode[c.NodeType], c)
+	}
+	chosen := map[string]*dataset.Context{}
+	for _, nt := range nodeOrder {
+		cs := byNode[nt]
+		c := cs[rng.Intn(len(cs))]
+		chosen[c.ID] = c
+		if len(chosen) == n {
+			break
+		}
+	}
+	// Fill the remainder randomly.
+	perm := rng.Perm(len(all))
+	for _, i := range perm {
+		if len(chosen) >= n {
+			break
+		}
+		chosen[all[i].ID] = all[i]
+	}
+	var out []*dataset.Context
+	for _, c := range all { // deterministic order
+		if _, ok := chosen[c.ID]; ok {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// runCrossContextTarget handles one (job, target context): pre-trains
+// the filtered and full Bellamy variants, then sweeps training sizes and
+// splits over all five methods.
+func runCrossContextTarget(ds *dataset.Dataset, job string, target *dataset.Context, cfg CrossContextConfig, seed int64) ([]Measurement, map[string]float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	pretrainSec := map[string]float64{}
+
+	modelCfg := cfg.Model
+	modelCfg.Seed = rng.Int63()
+
+	fullCorpus := core.SamplesFromExecutions(dataset.FilterExcludeContext(ds, target))
+	filteredCorpus := core.SamplesFromExecutions(dataset.FilterDissimilar(ds, target))
+
+	var fullBase, filteredBase *core.Model
+	if len(fullCorpus) > 0 {
+		m, err := core.New(modelCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := m.Pretrain(fullCorpus)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: pre-training full variant for %s: %w", target.ID, err)
+		}
+		fullBase = m
+		pretrainSec[key(job, target.ID, MethodBellamyFull)] = rep.Duration.Seconds()
+	}
+	if len(filteredCorpus) > 0 {
+		mc := modelCfg
+		mc.Seed = rng.Int63()
+		m, err := core.New(mc)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := m.Pretrain(filteredCorpus)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: pre-training filtered variant for %s: %w", target.ID, err)
+		}
+		filteredBase = m
+		pretrainSec[key(job, target.ID, MethodBellamyFiltered)] = rep.Duration.Seconds()
+	}
+
+	ftOpts := core.FinetuneOptions{Strategy: core.StrategyPartialUnfreeze}
+	localOpts := core.FinetuneOptions{Strategy: core.StrategyLocal}
+	localCfg := modelCfg
+	localCfg.Seed = rng.Int63()
+
+	runners := baselineRunners()
+	runners = append(runners,
+		bellamyRunner(MethodBellamyLocal, nil, localCfg, target, localOpts),
+	)
+	if filteredBase != nil {
+		runners = append(runners, bellamyRunner(MethodBellamyFiltered, filteredBase, modelCfg, target, ftOpts))
+	}
+	if fullBase != nil {
+		runners = append(runners, bellamyRunner(MethodBellamyFull, fullBase, modelCfg, target, ftOpts))
+	}
+
+	ctxExecs := ds.ForContext(target.ID)
+	var out []Measurement
+	counts := append([]int{0}, cfg.PointCounts...) // 0 = zero-shot extrapolation
+	for _, k := range counts {
+		splits, err := GenerateSplits(ctxExecs, k, cfg.MaxSplits, rng)
+		if err != nil {
+			continue // k may be infeasible for this context
+		}
+		for _, sp := range splits {
+			for _, r := range runners {
+				if m, ok := runSplit(r, job, target.ID, sp); ok {
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	return out, pretrainSec, nil
+}
+
+func key(job, ctxID string, m Method) string {
+	return job + "/" + ctxID + "/" + string(m)
+}

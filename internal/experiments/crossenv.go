@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// CrossEnvConfig parameterizes the ad hoc cross-environment learning
+// experiment (§IV-C2, Fig. 8): models pre-trained on the public-cloud
+// C3O traces are reused on the private-cluster Bell traces under the
+// different reuse strategies.
+type CrossEnvConfig struct {
+	Seed int64
+	// Jobs to evaluate; nil selects the Bell dataset jobs
+	// (Grep, SGD, PageRank).
+	Jobs []string
+	// MaxSplits bounds the unique splits per training size (paper: 500).
+	MaxSplits int
+	// PointCounts are the training sizes.
+	PointCounts []int
+	// Model is the Bellamy configuration.
+	Model core.Config
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultCrossEnvConfig returns a laptop-scale configuration of the
+// cross-environment experiment; raise MaxSplits to 500 and epochs to
+// Table I values for the full run.
+func DefaultCrossEnvConfig() CrossEnvConfig {
+	cfg := core.DefaultConfig()
+	cfg.PretrainEpochs = 250
+	cfg.FinetuneEpochs = 400
+	cfg.FinetunePatience = 150
+	return CrossEnvConfig{
+		Seed:        1,
+		MaxSplits:   40,
+		PointCounts: []int{1, 2, 3, 4, 5, 6},
+		Model:       cfg,
+	}
+}
+
+// CrossEnvResult aggregates the experiment's measurements.
+type CrossEnvResult struct {
+	Measurements []Measurement
+	// PretrainSeconds per job (one C3O pre-training per algorithm).
+	PretrainSeconds map[string]float64
+}
+
+// RunCrossEnv pre-trains one Bellamy model per algorithm on the C3O
+// dataset and evaluates every reuse strategy on the Bell dataset's
+// single context per algorithm, against the NNLS/Bell baselines and a
+// local Bellamy model.
+func RunCrossEnv(c3o, bell *dataset.Dataset, cfg CrossEnvConfig) (*CrossEnvResult, error) {
+	if cfg.MaxSplits <= 0 {
+		return nil, fmt.Errorf("experiments: MaxSplits must be positive")
+	}
+	jobs := cfg.Jobs
+	if len(jobs) == 0 {
+		jobs = bell.Jobs()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &CrossEnvResult{PretrainSeconds: map[string]float64{}}
+
+	type jobOut struct {
+		ms       []Measurement
+		pretrain float64
+		err      error
+	}
+	seeds := make([]int64, len(jobs))
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	outs := parallel.Map(len(jobs), cfg.Workers, func(i int) jobOut {
+		ms, pt, err := runCrossEnvJob(c3o, bell, jobs[i], cfg, seeds[i])
+		return jobOut{ms, pt, err}
+	})
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Measurements = append(res.Measurements, o.ms...)
+		res.PretrainSeconds[jobs[i]] = o.pretrain
+	}
+	return res, nil
+}
+
+func runCrossEnvJob(c3o, bell *dataset.Dataset, job string, cfg CrossEnvConfig, seed int64) ([]Measurement, float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	bellCtxs := bell.Contexts(job)
+	if len(bellCtxs) == 0 {
+		return nil, 0, fmt.Errorf("experiments: job %q absent from bell dataset", job)
+	}
+	target := bellCtxs[0] // single context per algorithm in Bell datasets
+
+	modelCfg := cfg.Model
+	modelCfg.Seed = rng.Int63()
+	corpus := core.SamplesFromExecutions(c3o.ForJob(job))
+	if len(corpus) == 0 {
+		return nil, 0, fmt.Errorf("experiments: job %q absent from c3o dataset", job)
+	}
+	base, err := core.New(modelCfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	rep, err := base.Pretrain(corpus)
+	if err != nil {
+		return nil, 0, fmt.Errorf("experiments: pre-training %s on c3o: %w", job, err)
+	}
+
+	localCfg := modelCfg
+	localCfg.Seed = rng.Int63()
+	strategies := []struct {
+		name Method
+		s    core.Strategy
+	}{
+		{MethodBellamyPartialUnfreeze, core.StrategyPartialUnfreeze},
+		{MethodBellamyFullUnfreeze, core.StrategyFullUnfreeze},
+		{MethodBellamyPartialReset, core.StrategyPartialReset},
+		{MethodBellamyFullReset, core.StrategyFullReset},
+	}
+	runners := baselineRunners()
+	runners = append(runners, bellamyRunner(MethodBellamyLocal, nil, localCfg, target,
+		core.FinetuneOptions{Strategy: core.StrategyLocal}))
+	for _, st := range strategies {
+		runners = append(runners, bellamyRunner(st.name, base, modelCfg, target,
+			core.FinetuneOptions{Strategy: st.s}))
+	}
+
+	ctxExecs := bell.ForContext(target.ID)
+	var out []Measurement
+	counts := append([]int{0}, cfg.PointCounts...)
+	for _, k := range counts {
+		splits, err := GenerateSplits(ctxExecs, k, cfg.MaxSplits, rng)
+		if err != nil {
+			continue
+		}
+		for _, sp := range splits {
+			for _, r := range runners {
+				if m, ok := runSplit(r, job, target.ID, sp); ok {
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	return out, rep.Duration.Seconds(), nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Method identifies one runtime model variant in the comparison.
+type Method string
+
+// Methods of the cross-context experiment (Fig. 5/6/7).
+const (
+	MethodNNLS            Method = "nnls"
+	MethodBell            Method = "bell"
+	MethodBellamyLocal    Method = "bellamy-local"
+	MethodBellamyFiltered Method = "bellamy-filtered"
+	MethodBellamyFull     Method = "bellamy-full"
+)
+
+// Methods of the cross-environment experiment (Fig. 8); the first two
+// baselines and bellamy-local are shared with the list above.
+const (
+	MethodBellamyPartialUnfreeze Method = "bellamy-partial-unfreeze"
+	MethodBellamyFullUnfreeze    Method = "bellamy-full-unfreeze"
+	MethodBellamyPartialReset    Method = "bellamy-partial-reset"
+	MethodBellamyFullReset       Method = "bellamy-full-reset"
+)
+
+// IsBellamy reports whether the method is a Bellamy variant (relevant for
+// epoch statistics — baselines have no epochs).
+func (m Method) IsBellamy() bool {
+	switch m {
+	case MethodNNLS, MethodBell:
+		return false
+	default:
+		return true
+	}
+}
+
+// MethodRunner builds fresh predictors for a target context.
+type MethodRunner struct {
+	Name Method
+	// Make returns a new predictor instance bound to the target context.
+	Make func() (baselines.Predictor, error)
+	// ZeroShot marks methods usable with zero training points.
+	ZeroShot bool
+	// MinPoints is the smallest training size the method accepts.
+	MinPoints int
+}
+
+// Measurement is one (method, split) outcome.
+type Measurement struct {
+	Job       string
+	Context   string
+	Method    Method
+	NumPoints int
+
+	// HasInterp/HasExtra report which test points existed in the split.
+	HasInterp, HasExtra bool
+	InterpRelErr        float64
+	InterpAbsErr        float64
+	ExtraRelErr         float64
+	ExtraAbsErr         float64
+
+	// FitSeconds is the wall-clock time of Fit.
+	FitSeconds float64
+	// Epochs is the number of fine-tuning epochs (Bellamy only).
+	Epochs int
+}
+
+// runSplit fits a fresh predictor on the split's training points and
+// evaluates both test points. It returns ok=false when the method cannot
+// run on this split (too few points).
+func runSplit(r MethodRunner, job, ctxID string, sp Split) (Measurement, bool) {
+	k := len(sp.Train)
+	if k < r.MinPoints && !(k == 0 && r.ZeroShot) {
+		return Measurement{}, false
+	}
+	p, err := r.Make()
+	if err != nil {
+		return Measurement{}, false
+	}
+	points := make([]baselines.Point, k)
+	for i, e := range sp.Train {
+		points[i] = baselines.Point{ScaleOut: e.ScaleOut, Runtime: e.RuntimeSec}
+	}
+	start := time.Now()
+	if err := p.Fit(points); err != nil {
+		return Measurement{}, false
+	}
+	m := Measurement{
+		Job: job, Context: ctxID, Method: r.Name, NumPoints: k,
+		FitSeconds: time.Since(start).Seconds(),
+	}
+	if cp, ok := p.(*core.ContextPredictor); ok && cp.Report != nil {
+		m.Epochs = cp.Report.Epochs
+	}
+	if sp.Interp != nil {
+		if pred, err := p.Predict(sp.Interp.ScaleOut); err == nil {
+			m.HasInterp = true
+			m.InterpRelErr = RelErr(pred, sp.Interp.RuntimeSec)
+			m.InterpAbsErr = AbsErr(pred, sp.Interp.RuntimeSec)
+		}
+	}
+	if sp.Extra != nil {
+		if pred, err := p.Predict(sp.Extra.ScaleOut); err == nil {
+			m.HasExtra = true
+			m.ExtraRelErr = RelErr(pred, sp.Extra.RuntimeSec)
+			m.ExtraAbsErr = AbsErr(pred, sp.Extra.RuntimeSec)
+		}
+	}
+	return m, true
+}
+
+// baselineRunners returns the NNLS and Bell method runners.
+func baselineRunners() []MethodRunner {
+	return []MethodRunner{
+		{
+			Name:      MethodNNLS,
+			Make:      func() (baselines.Predictor, error) { return baselines.NewErnest(), nil },
+			MinPoints: 1,
+		},
+		{
+			Name:      MethodBell,
+			Make:      func() (baselines.Predictor, error) { return baselines.NewBell(), nil },
+			MinPoints: 1,
+		},
+	}
+}
+
+// bellamyRunner wraps a pre-trained base model (nil for the local
+// variant) as a method runner for one target context.
+func bellamyRunner(name Method, base *core.Model, cfg core.Config, target *dataset.Context, opts core.FinetuneOptions) MethodRunner {
+	ess := target.EssentialProps()
+	opt := target.OptionalProps()
+	return MethodRunner{
+		Name:      name,
+		ZeroShot:  base != nil,
+		MinPoints: 1,
+		Make: func() (baselines.Predictor, error) {
+			var m *core.Model
+			var err error
+			if base != nil {
+				m, err = base.Clone()
+			} else {
+				m, err = core.New(cfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return core.NewContextPredictor(m, ess, opt, opts), nil
+		},
+	}
+}

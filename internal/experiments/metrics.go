@@ -1,0 +1,113 @@
+// Package experiments implements the evaluation harness of the paper:
+// random sub-sampling cross-validation splits with interpolation and
+// extrapolation test points, the MRE/MAE metrics, the epoch eCDFs, and
+// runners that regenerate every figure of §IV (Fig. 5, 6, 7, 8 and the
+// training-time observations).
+package experiments
+
+import (
+	"math"
+	"sort"
+)
+
+// RelErr returns |pred-actual| / actual, the per-prediction relative
+// error underlying the paper's MRE plots.
+func RelErr(pred, actual float64) float64 {
+	if actual == 0 {
+		return math.Abs(pred)
+	}
+	return math.Abs(pred-actual) / math.Abs(actual)
+}
+
+// AbsErr returns |pred-actual| in seconds.
+func AbsErr(pred, actual float64) float64 { return math.Abs(pred - actual) }
+
+// Mean returns the arithmetic mean of vals (0 for empty input).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Std returns the sample standard deviation of vals.
+func Std(vals []float64) float64 {
+	if len(vals) < 2 {
+		return 0
+	}
+	m := Mean(vals)
+	var sq float64
+	for _, v := range vals {
+		sq += (v - m) * (v - m)
+	}
+	return math.Sqrt(sq / float64(len(vals)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) of vals using linear
+// interpolation between order statistics.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ECDF is an empirical cumulative distribution function over observed
+// values (Fig. 7 plots these for trained epoch counts).
+type ECDF struct {
+	Values []float64 // sorted ascending
+}
+
+// NewECDF builds an eCDF from unsorted observations.
+func NewECDF(vals []float64) *ECDF {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return &ECDF{Values: sorted}
+}
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.Values) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	idx := sort.Search(len(e.Values), func(i int) bool { return e.Values[i] > x })
+	return float64(idx) / float64(len(e.Values))
+}
+
+// Quantile returns the smallest value v with P(X <= v) >= q.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.Values) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.Values[0]
+	}
+	idx := int(math.Ceil(q*float64(len(e.Values)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.Values) {
+		idx = len(e.Values) - 1
+	}
+	return e.Values[idx]
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GroupKey identifies an aggregation cell.
+type GroupKey struct {
+	Job       string
+	Method    Method
+	NumPoints int
+}
+
+// Aggregate collects per-cell statistics from raw measurements.
+type Aggregate struct {
+	InterpRelErrs []float64
+	InterpAbsErrs []float64
+	ExtraRelErrs  []float64
+	ExtraAbsErrs  []float64
+	FitSeconds    []float64
+	Epochs        []float64
+}
+
+// GroupByPoints buckets measurements by (job, method, numPoints).
+func GroupByPoints(ms []Measurement) map[GroupKey]*Aggregate {
+	out := map[GroupKey]*Aggregate{}
+	for _, m := range ms {
+		k := GroupKey{m.Job, m.Method, m.NumPoints}
+		a := out[k]
+		if a == nil {
+			a = &Aggregate{}
+			out[k] = a
+		}
+		addMeasurement(a, m)
+	}
+	return out
+}
+
+// GroupByMethod buckets measurements by (job, method) across all point
+// counts — the aggregation behind Fig. 6 and Fig. 8.
+func GroupByMethod(ms []Measurement) map[GroupKey]*Aggregate {
+	out := map[GroupKey]*Aggregate{}
+	for _, m := range ms {
+		k := GroupKey{Job: m.Job, Method: m.Method}
+		a := out[k]
+		if a == nil {
+			a = &Aggregate{}
+			out[k] = a
+		}
+		addMeasurement(a, m)
+	}
+	return out
+}
+
+func addMeasurement(a *Aggregate, m Measurement) {
+	if m.HasInterp {
+		a.InterpRelErrs = append(a.InterpRelErrs, m.InterpRelErr)
+		a.InterpAbsErrs = append(a.InterpAbsErrs, m.InterpAbsErr)
+	}
+	if m.HasExtra {
+		a.ExtraRelErrs = append(a.ExtraRelErrs, m.ExtraRelErr)
+		a.ExtraAbsErrs = append(a.ExtraAbsErrs, m.ExtraAbsErr)
+	}
+	a.FitSeconds = append(a.FitSeconds, m.FitSeconds)
+	if m.Method.IsBellamy() && m.Epochs > 0 {
+		a.Epochs = append(a.Epochs, float64(m.Epochs))
+	}
+}
+
+// MethodOrder fixes the column order of reports.
+var MethodOrder = []Method{
+	MethodNNLS, MethodBell,
+	MethodBellamyLocal, MethodBellamyFiltered, MethodBellamyFull,
+	MethodBellamyPartialUnfreeze, MethodBellamyFullUnfreeze,
+	MethodBellamyPartialReset, MethodBellamyFullReset,
+}
+
+// methodsPresent returns MethodOrder restricted to methods observed in
+// the measurement set.
+func methodsPresent(ms []Measurement) []Method {
+	seen := map[Method]bool{}
+	for _, m := range ms {
+		seen[m.Method] = true
+	}
+	var out []Method
+	for _, m := range MethodOrder {
+		if seen[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func jobsPresent(ms []Measurement) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range ms {
+		if !seen[m.Job] {
+			seen[m.Job] = true
+			out = append(out, m.Job)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func pointCountsPresent(ms []Measurement) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, m := range ms {
+		if !seen[m.NumPoints] {
+			seen[m.NumPoints] = true
+			out = append(out, m.NumPoints)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FormatMRETable renders the Fig. 5 style table: mean relative errors per
+// (job, #points, method) for either interpolation or extrapolation.
+func FormatMRETable(ms []Measurement, extrapolation bool) string {
+	byCell := GroupByPoints(ms)
+	methods := methodsPresent(ms)
+	jobs := jobsPresent(ms)
+	points := pointCountsPresent(ms)
+
+	var b strings.Builder
+	task := "interpolation"
+	if extrapolation {
+		task = "extrapolation"
+	}
+	fmt.Fprintf(&b, "MRE (%s) per job, #points, method\n", task)
+	for _, job := range jobs {
+		fmt.Fprintf(&b, "\n%s\n", job)
+		fmt.Fprintf(&b, "%8s", "#points")
+		for _, m := range methods {
+			fmt.Fprintf(&b, " %24s", m)
+		}
+		b.WriteByte('\n')
+		for _, k := range points {
+			fmt.Fprintf(&b, "%8d", k)
+			for _, m := range methods {
+				a := byCell[GroupKey{job, m, k}]
+				vals := []float64(nil)
+				if a != nil {
+					if extrapolation {
+						vals = a.ExtraRelErrs
+					} else {
+						vals = a.InterpRelErrs
+					}
+				}
+				if len(vals) == 0 {
+					fmt.Fprintf(&b, " %24s", "-")
+				} else {
+					fmt.Fprintf(&b, " %18.3f (%3d)", Mean(vals), len(vals))
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatMAETable renders the Fig. 6 / Fig. 8 style table: interpolation
+// MAE in seconds per (job, method), aggregated over splits, contexts and
+// point counts.
+func FormatMAETable(ms []Measurement, title string) string {
+	byCell := GroupByMethod(ms)
+	methods := methodsPresent(ms)
+	jobs := jobsPresent(ms)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — interpolation MAE [s]\n", title)
+	fmt.Fprintf(&b, "%10s", "job")
+	for _, m := range methods {
+		fmt.Fprintf(&b, " %24s", m)
+	}
+	b.WriteByte('\n')
+	for _, job := range jobs {
+		fmt.Fprintf(&b, "%10s", job)
+		for _, m := range methods {
+			a := byCell[GroupKey{Job: job, Method: m}]
+			if a == nil || len(a.InterpAbsErrs) == 0 {
+				fmt.Fprintf(&b, " %24s", "-")
+			} else {
+				fmt.Fprintf(&b, " %12.1f ± %8.1f", Mean(a.InterpAbsErrs), Std(a.InterpAbsErrs))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatEpochECDF renders the Fig. 7 style summary: quantiles of the
+// fine-tuning epoch distribution per (job, Bellamy variant).
+func FormatEpochECDF(ms []Measurement) string {
+	byCell := GroupByMethod(ms)
+	methods := methodsPresent(ms)
+	jobs := jobsPresent(ms)
+	quantiles := []float64{0.25, 0.5, 0.75, 0.9, 1.0}
+
+	var b strings.Builder
+	b.WriteString("Fine-tuning epochs eCDF quantiles per job and Bellamy variant\n")
+	for _, job := range jobs {
+		fmt.Fprintf(&b, "\n%s\n%26s", job, "quantile")
+		for _, q := range quantiles {
+			fmt.Fprintf(&b, " %8.0f%%", q*100)
+		}
+		b.WriteByte('\n')
+		for _, m := range methods {
+			if !m.IsBellamy() {
+				continue
+			}
+			a := byCell[GroupKey{Job: job, Method: m}]
+			if a == nil || len(a.Epochs) == 0 {
+				continue
+			}
+			e := NewECDF(a.Epochs)
+			fmt.Fprintf(&b, "%26s", m)
+			for _, q := range quantiles {
+				fmt.Fprintf(&b, " %9.0f", e.Quantile(q))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatFitTimes renders the §IV-C fit-time comparison: mean wall-clock
+// Fit seconds per method, across all jobs.
+func FormatFitTimes(ms []Measurement) string {
+	agg := map[Method][]float64{}
+	for _, m := range ms {
+		agg[m.Method] = append(agg[m.Method], m.FitSeconds)
+	}
+	var b strings.Builder
+	b.WriteString("Mean time to fit per method [s]\n")
+	for _, m := range MethodOrder {
+		vals := agg[m]
+		if len(vals) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%26s %10.4f (n=%d)\n", m, Mean(vals), len(vals))
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+// Package hyperopt implements the hyperparameter search of Table I:
+// dropout, learning rate, and weight decay are sampled from the paper's
+// grid and evaluated by pre-training candidate models, in parallel across
+// CPU cores. It replaces the Ray Tune + Optuna stack of the original
+// implementation with a random sampler, which is statistically equivalent
+// at the paper's budget of 12 sampled configurations.
+package hyperopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// Space is the searchable hyperparameter grid (Table I, pre-training).
+type Space struct {
+	Dropouts      []float64
+	LearningRates []float64
+	WeightDecays  []float64
+}
+
+// DefaultSpace returns the paper's search space.
+func DefaultSpace() Space {
+	return Space{
+		Dropouts:      []float64{0.05, 0.10, 0.20},
+		LearningRates: []float64{1e-1, 1e-2, 1e-3},
+		WeightDecays:  []float64{1e-2, 1e-3, 1e-4},
+	}
+}
+
+// Size returns the number of grid points.
+func (s Space) Size() int {
+	return len(s.Dropouts) * len(s.LearningRates) * len(s.WeightDecays)
+}
+
+// Sample draws one configuration uniformly at random.
+func (s Space) Sample(rng *rand.Rand) (dropout, lr, wd float64) {
+	return s.Dropouts[rng.Intn(len(s.Dropouts))],
+		s.LearningRates[rng.Intn(len(s.LearningRates))],
+		s.WeightDecays[rng.Intn(len(s.WeightDecays))]
+}
+
+// Trial records one evaluated configuration.
+type Trial struct {
+	Dropout, LearningRate, WeightDecay float64
+	// ValMAE is the validation mean absolute error in seconds.
+	ValMAE float64
+	// Err is non-nil when the trial failed.
+	Err error
+}
+
+// Options controls a search run.
+type Options struct {
+	// Trials is the number of sampled configurations (paper: 12).
+	Trials int
+	// Workers bounds the parallel trial count (0 = GOMAXPROCS).
+	Workers int
+	// ValFraction is the portion of samples held out for validation.
+	ValFraction float64
+	// Seed drives sampling and the train/validation split.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper: 12 trials.
+func DefaultOptions() Options {
+	return Options{Trials: 12, ValFraction: 0.2, Seed: 1}
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best   Trial
+	Trials []Trial
+}
+
+// Search pre-trains one candidate model per sampled configuration on a
+// train split of samples and scores it on a held-out validation split.
+// base supplies every non-searched configuration field (epochs, dims...).
+func Search(base core.Config, samples []core.Sample, space Space, opts Options) (*Result, error) {
+	if len(samples) < 5 {
+		return nil, fmt.Errorf("hyperopt: need at least 5 samples, got %d", len(samples))
+	}
+	if opts.Trials <= 0 {
+		opts.Trials = 12
+	}
+	if opts.ValFraction <= 0 || opts.ValFraction >= 1 {
+		opts.ValFraction = 0.2
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Shuffled train/validation split.
+	idx := rng.Perm(len(samples))
+	nVal := int(float64(len(samples)) * opts.ValFraction)
+	if nVal < 1 {
+		nVal = 1
+	}
+	val := make([]core.Sample, 0, nVal)
+	train := make([]core.Sample, 0, len(samples)-nVal)
+	for i, j := range idx {
+		if i < nVal {
+			val = append(val, samples[j])
+		} else {
+			train = append(train, samples[j])
+		}
+	}
+
+	// Pre-draw configurations so trials are independent of scheduling.
+	type cand struct{ dropout, lr, wd float64; seed int64 }
+	cands := make([]cand, opts.Trials)
+	for i := range cands {
+		d, l, w := space.Sample(rng)
+		cands[i] = cand{d, l, w, rng.Int63()}
+	}
+
+	trials := parallel.Map(opts.Trials, opts.Workers, func(i int) Trial {
+		c := cands[i]
+		cfg := base
+		cfg.Dropout = c.dropout
+		cfg.LearningRate = c.lr
+		cfg.WeightDecay = c.wd
+		cfg.Seed = c.seed
+		t := Trial{Dropout: c.dropout, LearningRate: c.lr, WeightDecay: c.wd}
+		model, err := core.New(cfg)
+		if err != nil {
+			t.Err = err
+			t.ValMAE = math.Inf(1)
+			return t
+		}
+		if _, err := model.Pretrain(train); err != nil {
+			t.Err = err
+			t.ValMAE = math.Inf(1)
+			return t
+		}
+		t.ValMAE = validationMAE(model, val)
+		return t
+	})
+
+	sort.Slice(trials, func(i, j int) bool { return trials[i].ValMAE < trials[j].ValMAE })
+	res := &Result{Best: trials[0], Trials: trials}
+	if res.Best.Err != nil {
+		return res, fmt.Errorf("hyperopt: all trials failed: %w", res.Best.Err)
+	}
+	return res, nil
+}
+
+// validationMAE scores a model on held-out samples.
+func validationMAE(m *core.Model, val []core.Sample) float64 {
+	var sum float64
+	var n int
+	for _, s := range val {
+		pred, err := m.Predict(s.ScaleOut, s.Essential, s.Optional)
+		if err != nil {
+			continue
+		}
+		sum += math.Abs(pred - s.RuntimeSec)
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// Apply copies the winning hyperparameters onto a config.
+func (r *Result) Apply(cfg core.Config) core.Config {
+	cfg.Dropout = r.Best.Dropout
+	cfg.LearningRate = r.Best.LearningRate
+	cfg.WeightDecay = r.Best.WeightDecay
+	return cfg
+}

@@ -1,0 +1,140 @@
+package hyperopt
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+func smallSamples(n int) []core.Sample {
+	out := make([]core.Sample, 0, n)
+	xs := []int{2, 4, 6, 8, 10, 12}
+	for i := 0; i < n; i++ {
+		x := xs[i%len(xs)]
+		fx := float64(x)
+		out = append(out, core.Sample{
+			ScaleOut: x,
+			Essential: []encoding.Property{
+				{Name: "dataset_size_mb", Value: strconv.Itoa(10000 + 1000*(i/len(xs)))},
+				{Name: "dataset_characteristics", Value: "uniform"},
+				{Name: "job_parameters", Value: "--iterations 50"},
+				{Name: "node_type", Value: "m4.xlarge"},
+			},
+			RuntimeSec: 30 + 400/fx + 10*math.Log(fx) + 1.2*fx,
+		})
+	}
+	return out
+}
+
+func fastConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.PretrainEpochs = 15
+	return cfg
+}
+
+func TestDefaultSpace(t *testing.T) {
+	s := DefaultSpace()
+	if s.Size() != 27 {
+		t.Fatalf("space size = %d, want 27", s.Size())
+	}
+}
+
+func TestSampleWithinSpace(t *testing.T) {
+	s := DefaultSpace()
+	rng := rand.New(rand.NewSource(1))
+	in := func(v float64, set []float64) bool {
+		for _, x := range set {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 50; i++ {
+		d, l, w := s.Sample(rng)
+		if !in(d, s.Dropouts) || !in(l, s.LearningRates) || !in(w, s.WeightDecays) {
+			t.Fatalf("sample (%v, %v, %v) outside space", d, l, w)
+		}
+	}
+}
+
+func TestSearchFindsFiniteBest(t *testing.T) {
+	res, err := Search(fastConfig(), smallSamples(24), DefaultSpace(), Options{Trials: 4, Seed: 7, ValFraction: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.Best.ValMAE, 1) {
+		t.Fatal("best trial has infinite validation MAE")
+	}
+	if len(res.Trials) != 4 {
+		t.Fatalf("trials = %d, want 4", len(res.Trials))
+	}
+	// Sorted ascending by MAE.
+	for i := 1; i < len(res.Trials); i++ {
+		if res.Trials[i].ValMAE < res.Trials[i-1].ValMAE {
+			t.Fatal("trials not sorted by validation MAE")
+		}
+	}
+}
+
+func TestSearchDeterministicWithSeed(t *testing.T) {
+	opts := Options{Trials: 3, Seed: 11, ValFraction: 0.25, Workers: 1}
+	a, err := Search(fastConfig(), smallSamples(18), DefaultSpace(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(fastConfig(), smallSamples(18), DefaultSpace(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.ValMAE != b.Best.ValMAE || a.Best.LearningRate != b.Best.LearningRate {
+		t.Fatal("search not deterministic under fixed seed")
+	}
+}
+
+func TestSearchParallelMatchesSerialTrialSet(t *testing.T) {
+	// The sampled (dropout, lr, wd) triples must be independent of the
+	// worker count; only scheduling differs.
+	optsSerial := Options{Trials: 4, Seed: 3, ValFraction: 0.25, Workers: 1}
+	optsParallel := optsSerial
+	optsParallel.Workers = 4
+	a, err := Search(fastConfig(), smallSamples(18), DefaultSpace(), optsSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(fastConfig(), smallSamples(18), DefaultSpace(), optsParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(tr Trial) [3]float64 { return [3]float64{tr.Dropout, tr.LearningRate, tr.WeightDecay} }
+	seen := map[[3]float64]int{}
+	for _, tr := range a.Trials {
+		seen[key(tr)]++
+	}
+	for _, tr := range b.Trials {
+		seen[key(tr)]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("trial multiset differs at %v", k)
+		}
+	}
+}
+
+func TestSearchRejectsTinyCorpus(t *testing.T) {
+	if _, err := Search(fastConfig(), smallSamples(3), DefaultSpace(), DefaultOptions()); err == nil {
+		t.Fatal("expected error for tiny corpus")
+	}
+}
+
+func TestApply(t *testing.T) {
+	res := &Result{Best: Trial{Dropout: 0.2, LearningRate: 0.1, WeightDecay: 1e-4}}
+	cfg := res.Apply(core.DefaultConfig())
+	if cfg.Dropout != 0.2 || cfg.LearningRate != 0.1 || cfg.WeightDecay != 1e-4 {
+		t.Fatalf("Apply produced %+v", cfg)
+	}
+}

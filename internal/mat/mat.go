@@ -1,0 +1,153 @@
+// Package mat provides dense matrix and vector algebra for the neural
+// network and NNLS substrates. Matrices are stored in row-major order.
+// Large multiplications are automatically parallelized across goroutines.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed Rows x Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equally sized rows.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("mat: ragged row %d: len %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// FromVec builds a column vector (n x 1) from v.
+func FromVec(v []float64) *Dense {
+	m := NewDense(len(v), 1)
+	copy(m.Data, v)
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("mat: row %d out of bounds %d", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: col %d out of bounds %d", j, m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Zero resets every element of m to 0.
+func (m *Dense) Zero() { m.Fill(0) }
+
+// Equalish reports whether m and n have the same shape and all elements
+// within tol of each other.
+func (m *Dense) Equalish(n *Dense, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	s := fmt.Sprintf("Dense(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// HasNaN reports whether any element is NaN or infinite.
+func (m *Dense) HasNaN() bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,300 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d, want 3x2", tr.Rows, tr.Cols)
+	}
+	want := FromRows([][]float64{{1, 4}, {2, 5}, {3, 6}})
+	if !tr.Equalish(want, 0) {
+		t.Fatalf("T() = %v, want %v", tr, want)
+	}
+}
+
+func TestMulSmall(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equalish(want, 1e-12) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 5, 5)
+	id := NewDense(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	if got := Mul(a, id); !got.Equalish(a, 1e-12) {
+		t.Fatalf("A*I != A")
+	}
+	if got := Mul(id, a); !got.Equalish(a, 1e-12) {
+		t.Fatalf("I*A != A")
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched dims")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Big enough to cross parallelThreshold.
+	a := randomDense(rng, 80, 120)
+	b := randomDense(rng, 120, 90)
+	got := Mul(a, b)
+	want := NewDense(80, 90)
+	mulRange(a, b, want, 0, 80)
+	if !got.Equalish(want, 1e-9) {
+		t.Fatal("parallel Mul disagrees with serial")
+	}
+}
+
+func TestMulATB(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 7, 4)
+	b := randomDense(rng, 7, 5)
+	got := MulATB(a, b)
+	want := Mul(a.T(), b)
+	if !got.Equalish(want, 1e-10) {
+		t.Fatal("MulATB disagrees with explicit transpose product")
+	}
+}
+
+func TestMulABT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomDense(rng, 6, 4)
+	b := randomDense(rng, 9, 4)
+	got := MulABT(a, b)
+	want := Mul(a, b.T())
+	if !got.Equalish(want, 1e-10) {
+		t.Fatal("MulABT disagrees with explicit transpose product")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	got := MulVec(a, []float64{4, 5, 6})
+	if got[0] != 16 || got[1] != 15 {
+		t.Fatalf("MulVec = %v, want [16 15]", got)
+	}
+}
+
+func TestAddSubHadamardScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	if got := Add(a, b); !got.Equalish(FromRows([][]float64{{6, 8}, {10, 12}}), 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !got.Equalish(FromRows([][]float64{{4, 4}, {4, 4}}), 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Hadamard(a, b); !got.Equalish(FromRows([][]float64{{5, 12}, {21, 32}}), 0) {
+		t.Fatalf("Hadamard = %v", got)
+	}
+	if got := Scale(2, a); !got.Equalish(FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestAddRowVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := AddRowVec(a, []float64{10, 20})
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !got.Equalish(want, 0) {
+		t.Fatalf("AddRowVec = %v, want %v", got, want)
+	}
+}
+
+func TestColSums(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := ColSums(a)
+	if got[0] != 9 || got[1] != 12 {
+		t.Fatalf("ColSums = %v, want [9 12]", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromRows([][]float64{{1}, {2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	got := Concat(a, b)
+	want := FromRows([][]float64{{1, 3, 4}, {2, 5, 6}})
+	if !got.Equalish(want, 0) {
+		t.Fatalf("Concat = %v, want %v", got, want)
+	}
+}
+
+func TestSliceCols(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := SliceCols(a, 1, 3)
+	want := FromRows([][]float64{{2, 3}, {5, 6}})
+	if !got.Equalish(want, 0) {
+		t.Fatalf("SliceCols = %v, want %v", got, want)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestAxPy(t *testing.T) {
+	y := []float64{1, 1}
+	AxPy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AxPy = %v, want [7 9]", y)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := NewDense(1, 2)
+	if m.HasNaN() {
+		t.Fatal("fresh matrix reports NaN")
+	}
+	m.Set(0, 1, math.NaN())
+	if !m.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(0, 1, math.Inf(1))
+	if !m.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+// Property: matrix multiplication distributes over addition,
+// A*(B+C) == A*B + A*C.
+func TestQuickMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(6)
+		a := randomDense(rng, n, m)
+		b := randomDense(rng, m, k)
+		c := randomDense(rng, m, k)
+		left := Mul(a, Add(b, c))
+		right := Add(Mul(a, b), Mul(a, c))
+		return left.Equalish(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A*B)ᵀ == Bᵀ*Aᵀ.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(5)
+		a := randomDense(rng, n, m)
+		b := randomDense(rng, m, k)
+		return Mul(a, b).T().Equalish(Mul(b.T(), a.T()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDense(rng, 1+rng.Intn(8), 1+rng.Intn(8))
+		return a.T().T().Equalish(a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDense(rng *rand.Rand, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMulSerial32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomDense(rng, 32, 32)
+	y := randomDense(rng, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulParallel256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomDense(rng, 256, 256)
+	y := randomDense(rng, 256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}

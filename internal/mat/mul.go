@@ -1,0 +1,117 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of scalar multiply-adds in a
+// product before Mul fans the row loop out across goroutines. Small
+// products (the common case for Bellamy's 2-layer MLPs) stay serial to
+// avoid scheduling overhead.
+const parallelThreshold = 64 * 1024
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work >= parallelThreshold && a.Rows > 1 {
+		mulParallel(a, b, out)
+	} else {
+		mulRange(a, b, out, 0, a.Rows)
+	}
+	return out
+}
+
+// mulRange computes out rows [lo,hi) of a*b using an ikj loop order that
+// streams rows of b for cache friendliness.
+func mulRange(a, b, out *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+}
+
+func mulParallel(a, b, out *Dense) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	chunk := (a.Rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulATB returns aᵀ*b without materializing the transpose.
+func MulATB(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: MulATB row mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		ar := a.Row(k)
+		br := b.Row(k)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			or := out.Row(i)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulABT returns a*bᵀ without materializing the transpose.
+func MulABT(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulABT col mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			or[j] = Dot(ar, b.Row(j))
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product a*x as a new slice.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a+b element-wise.
+func Add(a, b *Dense) *Dense {
+	sameShape("Add", a, b)
+	out := NewDense(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a-b element-wise.
+func Sub(a, b *Dense) *Dense {
+	sameShape("Sub", a, b)
+	out := NewDense(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product a*b.
+func Hadamard(a, b *Dense) *Dense {
+	sameShape("Hadamard", a, b)
+	out := NewDense(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s*a.
+func Scale(s float64, a *Dense) *Dense {
+	out := NewDense(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Dense) {
+	sameShape("AddInPlace", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Apply returns a new matrix with f applied to every element of a.
+func Apply(a *Dense, f func(float64) float64) *Dense {
+	out := NewDense(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// AddRowVec adds the 1 x Cols row vector v to every row of a, returning a
+// new matrix. It is the broadcast used for bias addition.
+func AddRowVec(a *Dense, v []float64) *Dense {
+	if len(v) != a.Cols {
+		panic(fmt.Sprintf("mat: AddRowVec len %d != cols %d", len(v), a.Cols))
+	}
+	out := NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for j := range ar {
+			or[j] = ar[j] + v[j]
+		}
+	}
+	return out
+}
+
+// ColSums returns the per-column sums of a as a length-Cols slice.
+func ColSums(a *Dense) []float64 {
+	out := make([]float64, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot len %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// AxPy computes y += alpha*x in place.
+func AxPy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: AxPy len %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of a.
+func FrobeniusNorm(a *Dense) float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Concat concatenates matrices horizontally (same row count).
+func Concat(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return NewDense(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic(fmt.Sprintf("mat: Concat row mismatch %d != %d", m.Rows, rows))
+		}
+		cols += m.Cols
+	}
+	out := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		or := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(or[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// SliceCols returns a copy of columns [from, to) of a.
+func SliceCols(a *Dense, from, to int) *Dense {
+	if from < 0 || to > a.Cols || from > to {
+		panic(fmt.Sprintf("mat: SliceCols [%d,%d) out of bounds cols=%d", from, to, a.Cols))
+	}
+	out := NewDense(a.Rows, to-from)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i), a.Row(i)[from:to])
+	}
+	return out
+}
+
+func sameShape(op string, a, b *Dense) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// SELU constants from Klambauer et al., "Self-Normalizing Neural Networks".
+const (
+	SELUAlpha  = 1.6732632423543772
+	SELULambda = 1.0507009873554805
+)
+
+// Activation is an element-wise nonlinearity with an analytic derivative.
+type Activation interface {
+	// Name identifies the activation for serialization and debugging.
+	Name() string
+	// Apply computes the activation for a pre-activation value.
+	Apply(x float64) float64
+	// Derivative computes d act/d x at pre-activation value x.
+	Derivative(x float64) float64
+}
+
+// SELU is the scaled exponential linear unit.
+type SELU struct{}
+
+// Name implements Activation.
+func (SELU) Name() string { return "selu" }
+
+// Apply implements Activation.
+func (SELU) Apply(x float64) float64 {
+	if x > 0 {
+		return SELULambda * x
+	}
+	return SELULambda * SELUAlpha * (math.Exp(x) - 1)
+}
+
+// Derivative implements Activation.
+func (SELU) Derivative(x float64) float64 {
+	if x > 0 {
+		return SELULambda
+	}
+	return SELULambda * SELUAlpha * math.Exp(x)
+}
+
+// Tanh is the hyperbolic tangent, used by the last decoder layer to match
+// the range of the vectorized properties.
+type Tanh struct{}
+
+// Name implements Activation.
+func (Tanh) Name() string { return "tanh" }
+
+// Apply implements Activation.
+func (Tanh) Apply(x float64) float64 { return math.Tanh(x) }
+
+// Derivative implements Activation.
+func (Tanh) Derivative(x float64) float64 {
+	t := math.Tanh(x)
+	return 1 - t*t
+}
+
+// ReLU is the rectified linear unit (used by ablation benches).
+type ReLU struct{}
+
+// Name implements Activation.
+func (ReLU) Name() string { return "relu" }
+
+// Apply implements Activation.
+func (ReLU) Apply(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Derivative implements Activation.
+func (ReLU) Derivative(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Identity is the no-op activation (linear output layers).
+type Identity struct{}
+
+// Name implements Activation.
+func (Identity) Name() string { return "identity" }
+
+// Apply implements Activation.
+func (Identity) Apply(x float64) float64 { return x }
+
+// Derivative implements Activation.
+func (Identity) Derivative(x float64) float64 { return 1 }
+
+// ActivationByName resolves a serialized activation name.
+func ActivationByName(name string) Activation {
+	switch name {
+	case "selu":
+		return SELU{}
+	case "tanh":
+		return Tanh{}
+	case "relu":
+		return ReLU{}
+	case "identity":
+		return Identity{}
+	default:
+		panic("nn: unknown activation " + name)
+	}
+}
+
+// ActLayer applies an Activation element-wise and caches the
+// pre-activation input for the backward pass.
+type ActLayer struct {
+	Act   Activation
+	input *mat.Dense
+}
+
+// NewActLayer wraps act as a Layer.
+func NewActLayer(act Activation) *ActLayer { return &ActLayer{Act: act} }
+
+// Forward implements Layer.
+func (l *ActLayer) Forward(x *mat.Dense, train bool) *mat.Dense {
+	l.input = x
+	return mat.Apply(x, l.Act.Apply)
+}
+
+// Backward implements Layer.
+func (l *ActLayer) Backward(grad *mat.Dense) *mat.Dense {
+	if l.input == nil {
+		panic("nn: ActLayer.Backward before Forward")
+	}
+	out := mat.NewDense(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		out.Data[i] = g * l.Act.Derivative(l.input.Data[i])
+	}
+	return out
+}
+
+// Params implements Layer. Activations are parameter-free.
+func (l *ActLayer) Params() []*Param { return nil }
+
+// AlphaDropout implements the SELU-compatible dropout of Klambauer et al.:
+// dropped units are set to the negative saturation value alpha' and the
+// result is affinely transformed to preserve zero mean and unit variance.
+type AlphaDropout struct {
+	// P is the drop probability.
+	P float64
+	// Rng provides reproducible masks; required when P > 0.
+	Rng *rand.Rand
+
+	mask  []bool
+	scale float64
+}
+
+// NewAlphaDropout builds an alpha-dropout layer with drop probability p.
+func NewAlphaDropout(p float64, rng *rand.Rand) *AlphaDropout {
+	return &AlphaDropout{P: p, Rng: rng}
+}
+
+// alphaPrime is the negative saturation value of SELU: -lambda*alpha.
+const alphaPrime = -SELULambda * SELUAlpha
+
+// Forward implements Layer. Dropout is active only when train is true and
+// P > 0; otherwise it is the identity.
+func (l *AlphaDropout) Forward(x *mat.Dense, train bool) *mat.Dense {
+	if !train || l.P <= 0 {
+		l.mask = nil
+		return x
+	}
+	q := 1 - l.P
+	a := 1 / math.Sqrt(q+alphaPrime*alphaPrime*q*l.P)
+	b := -a * l.P * alphaPrime
+	l.scale = a
+	if cap(l.mask) < len(x.Data) {
+		l.mask = make([]bool, len(x.Data))
+	}
+	l.mask = l.mask[:len(x.Data)]
+	out := mat.NewDense(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		keep := l.Rng.Float64() < q
+		l.mask[i] = keep
+		if keep {
+			out.Data[i] = a*v + b
+		} else {
+			out.Data[i] = a*alphaPrime + b
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *AlphaDropout) Backward(grad *mat.Dense) *mat.Dense {
+	if l.mask == nil {
+		return grad
+	}
+	out := mat.NewDense(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		if l.mask[i] {
+			out.Data[i] = g * l.scale
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (l *AlphaDropout) Params() []*Param { return nil }

@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// it needs for Backward; Backward consumes the gradient w.r.t. its output,
+// accumulates parameter gradients, and returns the gradient w.r.t. its
+// input.
+type Layer interface {
+	Forward(x *mat.Dense, train bool) *mat.Dense
+	Backward(grad *mat.Dense) *mat.Dense
+	Params() []*Param
+}
+
+// Linear is a fully connected layer computing y = x*W + b with
+// W ∈ R^{In x Out}. The bias is optional: Bellamy's auto-encoder waives
+// additive biases (paper §IV-A).
+type Linear struct {
+	In, Out int
+	W       *Param
+	B       *Param // nil when the layer has no bias
+
+	input *mat.Dense
+}
+
+// NewLinear constructs a linear layer and initializes its weights.
+func NewLinear(name string, in, out int, withBias bool, scheme InitScheme, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out, W: NewParam(name+".W", in, out)}
+	InitDense(l.W.Value, scheme, rng)
+	if withBias {
+		l.B = NewParam(name+".b", 1, out)
+	}
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *mat.Dense, train bool) *mat.Dense {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: Linear %s input cols %d != in %d", l.W.Name, x.Cols, l.In))
+	}
+	l.input = x
+	y := mat.Mul(x, l.W.Value)
+	if l.B != nil {
+		y = mat.AddRowVec(y, l.B.Value.Row(0))
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *mat.Dense) *mat.Dense {
+	if l.input == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	if grad.Cols != l.Out {
+		panic(fmt.Sprintf("nn: Linear %s grad cols %d != out %d", l.W.Name, grad.Cols, l.Out))
+	}
+	// dW = xᵀ * grad
+	l.W.AccumulateGrad(mat.MulATB(l.input, grad))
+	if l.B != nil {
+		bg := mat.NewDense(1, l.Out)
+		copy(bg.Data, mat.ColSums(grad))
+		l.B.AccumulateGrad(bg)
+	}
+	// dx = grad * Wᵀ
+	return mat.MulABT(grad, l.W.Value)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param {
+	if l.B == nil {
+		return []*Param{l.W}
+	}
+	return []*Param{l.W, l.B}
+}
+
+// MLP is a sequential stack of layers. Every network in the Bellamy
+// architecture (f, g, h, z) is a two-layer MLP; the type supports any
+// depth for ablations.
+type MLP struct {
+	Layers []Layer
+}
+
+// NewMLP wraps layers into a network.
+func NewMLP(layers ...Layer) *MLP { return &MLP{Layers: layers} }
+
+// Forward implements Layer by chaining all constituent layers.
+func (m *MLP) Forward(x *mat.Dense, train bool) *mat.Dense {
+	for _, l := range m.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer by back-propagating through all layers.
+func (m *MLP) Backward(grad *mat.Dense) *mat.Dense {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer, collecting every learnable parameter.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// TwoLayerSpec describes the 2-layer feed-forward networks of paper
+// Eq. (2): in → hidden (actHidden) → out (actOut), with optional biases
+// and optional alpha-dropout between the layers.
+type TwoLayerSpec struct {
+	Name      string
+	In        int
+	Hidden    int
+	Out       int
+	ActHidden Activation
+	ActOut    Activation
+	WithBias  bool
+	Dropout   float64
+	Init      InitScheme
+}
+
+// Build constructs the MLP for the spec, drawing initial weights from rng.
+func (s TwoLayerSpec) Build(rng *rand.Rand) *MLP {
+	layers := []Layer{
+		NewLinear(s.Name+".l1", s.In, s.Hidden, s.WithBias, s.Init, rng),
+		NewActLayer(s.ActHidden),
+	}
+	if s.Dropout > 0 {
+		layers = append(layers, NewAlphaDropout(s.Dropout, rng))
+	}
+	layers = append(layers,
+		NewLinear(s.Name+".l2", s.Hidden, s.Out, s.WithBias, s.Init, rng),
+		NewActLayer(s.ActOut),
+	)
+	return NewMLP(layers...)
+}

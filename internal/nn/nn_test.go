@@ -1,0 +1,553 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestSELUValues(t *testing.T) {
+	s := SELU{}
+	if got := s.Apply(1); math.Abs(got-SELULambda) > 1e-12 {
+		t.Fatalf("SELU(1) = %v, want lambda", got)
+	}
+	if got := s.Apply(0); got != 0 {
+		t.Fatalf("SELU(0) = %v, want 0", got)
+	}
+	// As x -> -inf, SELU approaches -lambda*alpha.
+	if got := s.Apply(-50); math.Abs(got-alphaPrime) > 1e-9 {
+		t.Fatalf("SELU(-50) = %v, want %v", got, alphaPrime)
+	}
+}
+
+func TestActivationDerivatives(t *testing.T) {
+	acts := []Activation{SELU{}, Tanh{}, ReLU{}, Identity{}}
+	xs := []float64{-2.3, -0.5, 0.1, 0.9, 3.7}
+	const h = 1e-6
+	for _, act := range acts {
+		for _, x := range xs {
+			want := (act.Apply(x+h) - act.Apply(x-h)) / (2 * h)
+			got := act.Derivative(x)
+			if math.Abs(got-want) > 1e-4 {
+				t.Errorf("%s'(%v) = %v, finite-diff %v", act.Name(), x, got, want)
+			}
+		}
+	}
+}
+
+func TestActivationByName(t *testing.T) {
+	for _, name := range []string{"selu", "tanh", "relu", "identity"} {
+		if got := ActivationByName(name).Name(); got != name {
+			t.Errorf("ActivationByName(%q).Name() = %q", name, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown activation")
+		}
+	}()
+	ActivationByName("gelu")
+}
+
+func TestLinearForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("t", 3, 5, true, InitHe, rng)
+	x := mat.NewDense(4, 3)
+	y := l.Forward(x, false)
+	if y.Rows != 4 || y.Cols != 5 {
+		t.Fatalf("output shape %dx%d, want 4x5", y.Rows, y.Cols)
+	}
+}
+
+func TestLinearNoBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear("t", 2, 2, false, InitHe, rng)
+	if l.B != nil {
+		t.Fatal("bias allocated for no-bias layer")
+	}
+	if got := len(l.Params()); got != 1 {
+		t.Fatalf("Params len = %d, want 1", got)
+	}
+	// Zero input must map to zero output without bias.
+	y := l.Forward(mat.NewDense(1, 2), false)
+	if y.Data[0] != 0 || y.Data[1] != 0 {
+		t.Fatalf("no-bias layer maps 0 to %v", y.Data)
+	}
+}
+
+// gradCheck compares analytic parameter gradients of a network against
+// central finite differences of the loss.
+func gradCheck(t *testing.T, net *MLP, x, target *mat.Dense, loss Loss) {
+	t.Helper()
+	params := net.Params()
+	ZeroGrads(params)
+	pred := net.Forward(x, false)
+	_, g := loss.Compute(pred, target)
+	net.Backward(g)
+
+	const h = 1e-5
+	for _, p := range params {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + h
+			lp, _ := loss.Compute(net.Forward(x, false), target)
+			p.Value.Data[i] = orig - h
+			lm, _ := loss.Compute(net.Forward(x, false), target)
+			p.Value.Data[i] = orig
+			want := (lp - lm) / (2 * h)
+			got := p.Grad.Data[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %s[%d]: analytic grad %v, numeric %v", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGradCheckTwoLayerSELU(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := TwoLayerSpec{
+		Name: "f", In: 3, Hidden: 6, Out: 2,
+		ActHidden: SELU{}, ActOut: SELU{}, WithBias: true, Init: InitLeCun,
+	}.Build(rng)
+	x := randDense(rng, 5, 3)
+	target := randDense(rng, 5, 2)
+	gradCheck(t, net, x, target, MSELoss{})
+}
+
+func TestGradCheckTanhHuber(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := TwoLayerSpec{
+		Name: "h", In: 4, Hidden: 8, Out: 4,
+		ActHidden: SELU{}, ActOut: Tanh{}, WithBias: false, Init: InitLeCun,
+	}.Build(rng)
+	x := randDense(rng, 3, 4)
+	target := randDense(rng, 3, 4)
+	gradCheck(t, net, x, target, HuberLoss{Delta: 1})
+}
+
+func TestGradCheckIdentityOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := TwoLayerSpec{
+		Name: "z", In: 6, Hidden: 4, Out: 1,
+		ActHidden: SELU{}, ActOut: Identity{}, WithBias: true, Init: InitHe,
+	}.Build(rng)
+	x := randDense(rng, 7, 6)
+	target := randDense(rng, 7, 1)
+	gradCheck(t, net, x, target, HuberLoss{})
+}
+
+func TestMSELoss(t *testing.T) {
+	pred := mat.FromRows([][]float64{{2}, {4}})
+	target := mat.FromRows([][]float64{{1}, {2}})
+	l, g := MSELoss{}.Compute(pred, target)
+	if math.Abs(l-2.5) > 1e-12 { // (1 + 4)/2
+		t.Fatalf("MSE = %v, want 2.5", l)
+	}
+	if math.Abs(g.Data[0]-1) > 1e-12 || math.Abs(g.Data[1]-2) > 1e-12 {
+		t.Fatalf("MSE grad = %v, want [1 2]", g.Data)
+	}
+}
+
+func TestHuberLossRegions(t *testing.T) {
+	h := HuberLoss{Delta: 1}
+	pred := mat.FromRows([][]float64{{0.5}, {3}})
+	target := mat.FromRows([][]float64{{0}, {0}})
+	l, g := h.Compute(pred, target)
+	// 0.5*0.25 + 1*(3-0.5) = 0.125 + 2.5 = 2.625; mean = 1.3125
+	if math.Abs(l-1.3125) > 1e-12 {
+		t.Fatalf("Huber = %v, want 1.3125", l)
+	}
+	if math.Abs(g.Data[0]-0.25) > 1e-12 { // d/n = 0.5/2
+		t.Fatalf("quadratic-region grad = %v, want 0.25", g.Data[0])
+	}
+	if math.Abs(g.Data[1]-0.5) > 1e-12 { // delta/n = 1/2
+		t.Fatalf("linear-region grad = %v, want 0.5", g.Data[1])
+	}
+}
+
+func TestMAE(t *testing.T) {
+	pred := mat.FromRows([][]float64{{1}, {5}})
+	target := mat.FromRows([][]float64{{2}, {3}})
+	if got := MAE(pred, target); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("MAE = %v, want 1.5", got)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize ||w - c||^2 for a fixed target c.
+	p := NewParam("w", 1, 3)
+	c := []float64{1.5, -2.0, 0.5}
+	opt := NewAdam(0.05, 0)
+	for i := 0; i < 2000; i++ {
+		p.ZeroGrad()
+		for j := range c {
+			p.Grad.Data[j] = 2 * (p.Value.Data[j] - c[j])
+		}
+		opt.Step([]*Param{p})
+	}
+	for j, want := range c {
+		if math.Abs(p.Value.Data[j]-want) > 1e-3 {
+			t.Fatalf("w[%d] = %v, want %v", j, p.Value.Data[j], want)
+		}
+	}
+}
+
+func TestAdamSkipsFrozen(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.Value.Data[0] = 3
+	p.Grad.Data[0] = 1
+	p.Frozen = true
+	opt := NewAdam(0.1, 0)
+	opt.Step([]*Param{p})
+	if p.Value.Data[0] != 3 {
+		t.Fatalf("frozen param moved to %v", p.Value.Data[0])
+	}
+}
+
+func TestAdamWeightDecayShrinks(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.Value.Data[0] = 10
+	opt := NewAdam(0.01, 0.1)
+	// Zero gradient: only decay acts.
+	for i := 0; i < 100; i++ {
+		p.ZeroGrad()
+		opt.Step([]*Param{p})
+	}
+	if p.Value.Data[0] >= 10 {
+		t.Fatalf("weight decay did not shrink weight: %v", p.Value.Data[0])
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.Value.Data[0] = 5
+	opt := NewSGD(0.05, 0.9, 0)
+	for i := 0; i < 500; i++ {
+		p.ZeroGrad()
+		p.Grad.Data[0] = 2 * p.Value.Data[0]
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.Value.Data[0]) > 1e-3 {
+		t.Fatalf("SGD did not converge: %v", p.Value.Data[0])
+	}
+}
+
+func TestGradClip(t *testing.T) {
+	p := NewParam("w", 1, 2)
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4
+	GradClip([]*Param{p}, 1)
+	if got := mat.Norm2(p.Grad.Data); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("clipped norm = %v, want 1", got)
+	}
+	// Below the threshold nothing changes.
+	p.Grad.Data[0], p.Grad.Data[1] = 0.1, 0.1
+	GradClip([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.1 {
+		t.Fatalf("grad changed below threshold: %v", p.Grad.Data[0])
+	}
+}
+
+func TestCyclicalLRBounds(t *testing.T) {
+	s := CyclicalLR{Low: 1e-3, High: 1e-2, Period: 100}
+	for e := 0; e < 500; e++ {
+		r := s.Rate(e)
+		if r < 1e-3-1e-15 || r > 1e-2+1e-15 {
+			t.Fatalf("epoch %d: rate %v out of bounds", e, r)
+		}
+	}
+	if got := s.Rate(0); math.Abs(got-1e-2) > 1e-15 {
+		t.Fatalf("Rate(0) = %v, want High", got)
+	}
+	if got := s.Rate(50); math.Abs(got-1e-3) > 1e-15 {
+		t.Fatalf("Rate(half period) = %v, want Low", got)
+	}
+}
+
+func TestCosineAnnealingLR(t *testing.T) {
+	s := CosineAnnealingLR{Low: 0.001, High: 0.1, Span: 100}
+	if got := s.Rate(0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Rate(0) = %v, want 0.1", got)
+	}
+	if got := s.Rate(100); got != 0.001 {
+		t.Fatalf("Rate(Span) = %v, want Low", got)
+	}
+	if s.Rate(25) <= s.Rate(75) {
+		t.Fatal("cosine schedule is not decreasing")
+	}
+}
+
+func TestEarlyStopperTarget(t *testing.T) {
+	e := NewEarlyStopper(5, 100)
+	if _, stop := e.Observe(0, 10); stop {
+		t.Fatal("stopped above target without patience exhaustion")
+	}
+	if _, stop := e.Observe(1, 4.9); !stop {
+		t.Fatal("did not stop at target")
+	}
+}
+
+func TestEarlyStopperPatience(t *testing.T) {
+	e := NewEarlyStopper(0, 3)
+	e.Observe(0, 10)
+	for i := 1; i < 3; i++ {
+		if _, stop := e.Observe(i, 10); stop {
+			t.Fatalf("stopped too early at epoch %d", i)
+		}
+	}
+	if _, stop := e.Observe(3, 10); !stop {
+		t.Fatal("did not stop after patience exhausted")
+	}
+	best, epoch := e.Best()
+	if best != 10 || epoch != 0 {
+		t.Fatalf("Best = (%v, %d), want (10, 0)", best, epoch)
+	}
+}
+
+func TestEarlyStopperImprovementResets(t *testing.T) {
+	e := NewEarlyStopper(0, 3)
+	e.Observe(0, 10)
+	e.Observe(1, 9) // improvement
+	e.Observe(2, 9)
+	e.Observe(3, 9)
+	if _, stop := e.Observe(4, 9); !stop {
+		t.Fatal("did not stop 3 epochs after last improvement")
+	}
+}
+
+func TestAlphaDropoutEvalIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewAlphaDropout(0.5, rng)
+	x := randDense(rng, 4, 4)
+	y := d.Forward(x, false)
+	if !y.Equalish(x, 0) {
+		t.Fatal("eval-mode dropout is not identity")
+	}
+}
+
+func TestAlphaDropoutPreservesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewAlphaDropout(0.1, rng)
+	// Standard-normal input; output should stay near zero mean, unit var.
+	n := 200000
+	x := mat.NewDense(1, n)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	y := d.Forward(x, true)
+	var mean float64
+	for _, v := range y.Data {
+		mean += v
+	}
+	mean /= float64(n)
+	var varSum float64
+	for _, v := range y.Data {
+		varSum += (v - mean) * (v - mean)
+	}
+	variance := varSum / float64(n)
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("alpha-dropout mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("alpha-dropout variance = %v, want ~1", variance)
+	}
+}
+
+func TestAlphaDropoutBackwardMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewAlphaDropout(0.5, rng)
+	x := randDense(rng, 2, 8)
+	d.Forward(x, true)
+	g := mat.NewDense(2, 8)
+	g.Fill(1)
+	back := d.Backward(g)
+	zeros, scaled := 0, 0
+	for _, v := range back.Data {
+		switch {
+		case v == 0:
+			zeros++
+		default:
+			scaled++
+		}
+	}
+	if zeros == 0 || scaled == 0 {
+		t.Fatalf("dropout backward mask degenerate: zeros=%d scaled=%d", zeros, scaled)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := TwoLayerSpec{
+		Name: "f", In: 3, Hidden: 4, Out: 2,
+		ActHidden: SELU{}, ActOut: Identity{}, WithBias: true, Init: InitHe,
+	}.Build(rng)
+	st := CaptureState(net.Params())
+	blob, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := DecodeState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb then restore.
+	for _, p := range net.Params() {
+		p.Value.Fill(99)
+	}
+	if err := RestoreState(net.Params(), st2); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Params() {
+		if !p.Value.Equalish(st[p.Name], 0) {
+			t.Fatalf("param %s not restored", p.Name)
+		}
+	}
+}
+
+func TestRestoreStateMissingParam(t *testing.T) {
+	p := NewParam("a", 1, 1)
+	if err := RestoreState([]*Param{p}, State{}); err == nil {
+		t.Fatal("expected error for missing param")
+	}
+}
+
+func TestRestoreStateShapeMismatch(t *testing.T) {
+	p := NewParam("a", 1, 2)
+	s := State{"a": mat.NewDense(2, 2)}
+	if err := RestoreState([]*Param{p}, s); err == nil {
+		t.Fatal("expected error for shape mismatch")
+	}
+}
+
+func TestInitSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, scheme := range []InitScheme{InitHe, InitLeCun, InitXavier} {
+		m := mat.NewDense(200, 100)
+		InitDense(m, scheme, rng)
+		var sum, sq float64
+		for _, v := range m.Data {
+			sum += v
+			sq += v * v
+		}
+		n := float64(len(m.Data))
+		mean := sum / n
+		if math.Abs(mean) > 0.01 {
+			t.Errorf("%v: mean = %v, want ~0", scheme, mean)
+		}
+		variance := sq/n - mean*mean
+		var want float64
+		switch scheme {
+		case InitHe:
+			want = 2.0 / 200
+		case InitLeCun:
+			want = 1.0 / 200
+		case InitXavier:
+			want = 2.0 / (200 + 100) // var of U(-a,a) = a^2/3 = 2/(fanIn+fanOut)
+		}
+		if math.Abs(variance-want) > want*0.2 {
+			t.Errorf("%v: variance = %v, want ~%v", scheme, variance, want)
+		}
+	}
+}
+
+// Property: Huber loss is bounded above by MSE-style quadratic loss and
+// nonnegative; gradient magnitude never exceeds delta/n.
+func TestQuickHuberProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		pred := randDense(rng, n, 1)
+		target := randDense(rng, n, 1)
+		h := HuberLoss{Delta: 1}
+		l, g := h.Compute(pred, target)
+		if l < 0 {
+			return false
+		}
+		for _, gv := range g.Data {
+			if math.Abs(gv) > 1.0/float64(n)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a frozen network's forward output is deterministic in eval
+// mode regardless of dropout configuration.
+func TestQuickEvalDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net := TwoLayerSpec{
+			Name: "q", In: 3, Hidden: 5, Out: 2,
+			ActHidden: SELU{}, ActOut: Identity{}, WithBias: true,
+			Dropout: 0.2, Init: InitLeCun,
+		}.Build(rng)
+		x := randDense(rng, 4, 3)
+		a := net.Forward(x, false)
+		b := net.Forward(x, false)
+		return a.Equalish(b, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLPTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := TwoLayerSpec{
+		Name: "fit", In: 2, Hidden: 16, Out: 1,
+		ActHidden: SELU{}, ActOut: Identity{}, WithBias: true, Init: InitLeCun,
+	}.Build(rng)
+	// Learn y = x0 + 2*x1.
+	x := randDense(rng, 64, 2)
+	y := mat.NewDense(64, 1)
+	for i := 0; i < 64; i++ {
+		y.Data[i] = x.At(i, 0) + 2*x.At(i, 1)
+	}
+	opt := NewAdam(0.01, 0)
+	loss := MSELoss{}
+	first, _ := loss.Compute(net.Forward(x, false), y)
+	for e := 0; e < 500; e++ {
+		ZeroGrads(net.Params())
+		pred := net.Forward(x, true)
+		_, g := loss.Compute(pred, y)
+		net.Backward(g)
+		opt.Step(net.Params())
+	}
+	last, _ := loss.Compute(net.Forward(x, false), y)
+	if last > first/10 {
+		t.Fatalf("training did not reduce loss: first=%v last=%v", first, last)
+	}
+}
+
+func randDense(rng *rand.Rand, rows, cols int) *mat.Dense {
+	m := mat.NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkForwardBackwardTwoLayer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := TwoLayerSpec{
+		Name: "b", In: 40, Hidden: 8, Out: 4,
+		ActHidden: SELU{}, ActOut: SELU{}, WithBias: false, Init: InitLeCun,
+	}.Build(rng)
+	x := randDense(rng, 64, 40)
+	target := randDense(rng, 64, 4)
+	loss := MSELoss{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ZeroGrads(net.Params())
+		pred := net.Forward(x, true)
+		_, g := loss.Compute(pred, target)
+		net.Backward(g)
+	}
+}

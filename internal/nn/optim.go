@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (call
+	// ZeroGrads afterwards).
+	Step(params []*Param)
+	// SetLR changes the learning rate (used by schedulers).
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+// Adam implements the Adam optimizer with decoupled weight decay (AdamW
+// style), matching the paper's "Adam + weight decay" training setup.
+// Frozen parameters are skipped entirely, including their moment state.
+type Adam struct {
+	LearningRate float64
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	t int
+	m map[*Param]*mat.Dense
+	v map[*Param]*mat.Dense
+}
+
+// NewAdam constructs an Adam optimizer with standard betas.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		LearningRate: lr,
+		Beta1:        0.9,
+		Beta2:        0.999,
+		Eps:          1e-8,
+		WeightDecay:  weightDecay,
+		m:            make(map[*Param]*mat.Dense),
+		v:            make(map[*Param]*mat.Dense),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		m, ok := a.m[p]
+		if !ok {
+			m = mat.NewDense(p.Value.Rows, p.Value.Cols)
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = mat.NewDense(p.Value.Rows, p.Value.Cols)
+			a.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mhat := m.Data[i] / bc1
+			vhat := v.Data[i] / bc2
+			upd := mhat / (math.Sqrt(vhat) + a.Eps)
+			// Decoupled weight decay.
+			p.Value.Data[i] -= a.LearningRate * (upd + a.WeightDecay*p.Value.Data[i])
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.LearningRate = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.LearningRate }
+
+// ResetState clears the moment estimates, e.g. after re-initializing
+// model components for the reset reuse strategies.
+func (a *Adam) ResetState() {
+	a.t = 0
+	a.m = make(map[*Param]*mat.Dense)
+	a.v = make(map[*Param]*mat.Dense)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum, kept
+// for ablation experiments.
+type SGD struct {
+	LearningRate float64
+	Momentum     float64
+	WeightDecay  float64
+
+	vel map[*Param]*mat.Dense
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LearningRate: lr, Momentum: momentum, WeightDecay: weightDecay, vel: make(map[*Param]*mat.Dense)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if p.Frozen {
+			continue
+		}
+		vel, ok := s.vel[p]
+		if !ok {
+			vel = mat.NewDense(p.Value.Rows, p.Value.Cols)
+			s.vel[p] = vel
+		}
+		for i, g := range p.Grad.Data {
+			g += s.WeightDecay * p.Value.Data[i]
+			vel.Data[i] = s.Momentum*vel.Data[i] + g
+			p.Value.Data[i] -= s.LearningRate * vel.Data[i]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.LearningRate = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.LearningRate }
+
+// GradClip rescales gradients so the global L2 norm does not exceed max.
+// It guards fine-tuning on tiny sample counts against exploding steps.
+func GradClip(params []*Param, max float64) {
+	if max <= 0 {
+		return
+	}
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= max {
+		return
+	}
+	scale := max / norm
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] *= scale
+		}
+	}
+}

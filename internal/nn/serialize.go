@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// State is a snapshot of parameter values keyed by parameter name. It is
+// how Bellamy preserves a pre-trained model state for later fine-tuning.
+type State map[string]*mat.Dense
+
+// CaptureState deep-copies the current values of params.
+func CaptureState(params []*Param) State {
+	s := make(State, len(params))
+	for _, p := range params {
+		if _, dup := s[p.Name]; dup {
+			panic(fmt.Sprintf("nn: duplicate param name %q", p.Name))
+		}
+		s[p.Name] = p.Value.Clone()
+	}
+	return s
+}
+
+// RestoreState loads captured values back into params. Every parameter
+// must be present in the state with a matching shape.
+func RestoreState(params []*Param, s State) error {
+	for _, p := range params {
+		v, ok := s[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: state missing param %q", p.Name)
+		}
+		if v.Rows != p.Value.Rows || v.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: state param %q shape %dx%d != %dx%d",
+				p.Name, v.Rows, v.Cols, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, v.Data)
+	}
+	return nil
+}
+
+// Encode serializes the state with encoding/gob.
+func (s State) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("nn: encoding state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState deserializes a state produced by Encode.
+func DecodeState(b []byte) (State, error) {
+	var s State
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decoding state: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAll(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForEach(n, 8, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForEachSerial(t *testing.T) {
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(i int) { called = true })
+	ForEach(-3, 4, func(i int) { called = true })
+	if called {
+		t.Fatal("fn called for non-positive n")
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var count int64
+	ForEach(100, 0, func(i int) { atomic.AddInt64(&count, 1) })
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(10, 4, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapMoreWorkersThanItems(t *testing.T) {
+	got := Map(3, 64, func(i int) int { return i + 1 })
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Map = %v", got)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForEach(64, 0, func(j int) {
+			s := 0.0
+			for k := 0; k < 1000; k++ {
+				s += float64(k)
+			}
+			_ = s
+		})
+	}
+}
