@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func runDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	env := fs.String("env", "c3o", "environment to simulate: c3o or bell")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	noise := fs.Float64("noise", 0, "run-to-run noise sigma (0 = default 0.05)")
+	repeats := fs.Int("repeats", 0, "repeats per scale-out (0 = paper defaults)")
+	out := fs.String("out", "", "output CSV path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := dataset.SimConfig{Seed: *seed, NoiseSigma: *noise, Repeats: *repeats}
+	var ds *dataset.Dataset
+	switch *env {
+	case "c3o":
+		ds = dataset.GenerateC3O(cfg)
+	case "bell":
+		ds = dataset.GenerateBell(cfg)
+	default:
+		return fmt.Errorf("dataset: unknown -env %q (want c3o or bell)", *env)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("dataset: %w", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteCSV(w, ds); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d executions to %s\n", ds.Len(), *out)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func runExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	kind := fs.String("kind", "crosscontext", "experiment: crosscontext (§IV-C1) or crossenv (§IV-C2)")
+	seed := fs.Int64("seed", 1, "seed for simulation, splits and model init")
+	jobs := fs.String("jobs", "", "comma-separated job filter (default: all)")
+	maxSplits := fs.Int("max-splits", 0, "splits per training size (0 = laptop-scale default)")
+	contexts := fs.Int("contexts", 0, "target contexts per job, crosscontext only (0 = default 7)")
+	pretrainEpochs := fs.Int("pretrain-epochs", 0, "pre-training epochs (0 = laptop-scale default)")
+	finetuneEpochs := fs.Int("finetune-epochs", 0, "fine-tuning epochs (0 = laptop-scale default)")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var jobList []string
+	if *jobs != "" {
+		for _, j := range strings.Split(*jobs, ",") {
+			jobList = append(jobList, strings.TrimSpace(j))
+		}
+	}
+
+	switch *kind {
+	case "crosscontext":
+		cfg := experiments.DefaultCrossContextConfig()
+		cfg.Seed = *seed
+		cfg.Jobs = jobList
+		cfg.Workers = *workers
+		if *maxSplits > 0 {
+			cfg.MaxSplits = *maxSplits
+		}
+		if *contexts > 0 {
+			cfg.ContextsPerJob = *contexts
+		}
+		if *pretrainEpochs > 0 {
+			cfg.Model.PretrainEpochs = *pretrainEpochs
+		}
+		if *finetuneEpochs > 0 {
+			cfg.Model.FinetuneEpochs = *finetuneEpochs
+		}
+		ds := dataset.GenerateC3O(dataset.SimConfig{Seed: *seed})
+		fmt.Printf("cross-context experiment on %d executions...\n", ds.Len())
+		res, err := experiments.RunCrossContext(ds, cfg)
+		if err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		fmt.Println(experiments.FormatMRETable(res.Measurements, false))
+		fmt.Println(experiments.FormatMRETable(res.Measurements, true))
+		fmt.Println(experiments.FormatMAETable(res.Measurements, "Cross-context (Fig. 6)"))
+		fmt.Println(experiments.FormatEpochECDF(res.Measurements))
+		fmt.Println(experiments.FormatFitTimes(res.Measurements))
+	case "crossenv":
+		cfg := experiments.DefaultCrossEnvConfig()
+		cfg.Seed = *seed
+		cfg.Jobs = jobList
+		cfg.Workers = *workers
+		if *maxSplits > 0 {
+			cfg.MaxSplits = *maxSplits
+		}
+		if *pretrainEpochs > 0 {
+			cfg.Model.PretrainEpochs = *pretrainEpochs
+		}
+		if *finetuneEpochs > 0 {
+			cfg.Model.FinetuneEpochs = *finetuneEpochs
+		}
+		c3o := dataset.GenerateC3O(dataset.SimConfig{Seed: *seed})
+		bell := dataset.GenerateBell(dataset.SimConfig{Seed: *seed + 1})
+		fmt.Printf("cross-environment experiment: %d C3O / %d Bell executions...\n", c3o.Len(), bell.Len())
+		res, err := experiments.RunCrossEnv(c3o, bell, cfg)
+		if err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		fmt.Println(experiments.FormatMAETable(res.Measurements, "Cross-environment (Fig. 8)"))
+		fmt.Println(experiments.FormatFitTimes(res.Measurements))
+	default:
+		return fmt.Errorf("experiment: unknown -kind %q (want crosscontext or crossenv)", *kind)
+	}
+	return nil
+}

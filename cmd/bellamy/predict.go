@@ -1,0 +1,91 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+// propsFlag collects repeated -essential / -optional name=value flags.
+type propsFlag struct {
+	props    []encoding.Property
+	optional bool
+}
+
+func (p *propsFlag) String() string {
+	parts := make([]string, len(p.props))
+	for i, pr := range p.props {
+		parts[i] = pr.Name + "=" + pr.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *propsFlag) Set(s string) error {
+	name, value, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("property %q must be name=value", s)
+	}
+	p.props = append(p.props, encoding.Property{Name: name, Value: value, Optional: p.optional})
+	return nil
+}
+
+func parseScaleOuts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		x, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("scale-out %q: %w", part, err)
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("missing -scale-outs (e.g. -scale-outs 2,4,8)")
+	}
+	return out, nil
+}
+
+func runPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained model path (required)")
+	scaleOuts := fs.String("scale-outs", "", "comma-separated scale-outs to predict")
+	essential := &propsFlag{}
+	optional := &propsFlag{optional: true}
+	fs.Var(essential, "essential", "essential property name=value (repeatable, in model order)")
+	fs.Var(optional, "optional", "optional property name=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("predict: missing -model")
+	}
+	xs, err := parseScaleOuts(*scaleOuts)
+	if err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+
+	m, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+	queries := make([]core.Query, len(xs))
+	for i, x := range xs {
+		queries[i] = core.Query{ScaleOut: x, Essential: essential.props, Optional: optional.props}
+	}
+	preds, err := m.PredictBatch(queries)
+	if err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+	fmt.Printf("%10s %14s\n", "scale-out", "runtime [s]")
+	for i, x := range xs {
+		fmt.Printf("%10d %14.2f\n", x, preds[i])
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelsDir := fs.String("models", "", "directory of <job>_<env>.model files (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	modelCap := fs.Int("model-cache", serve.DefaultModelCap, "max resident models")
+	resultCap := fs.Int("result-cache", serve.DefaultResultCap, "max memoized prediction results")
+	workers := fs.Int("workers", 0, "per-batch fan-out workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelsDir == "" {
+		return fmt.Errorf("serve: missing -models directory")
+	}
+
+	svc := serve.NewService(serve.DirLoader(*modelsDir), serve.Options{
+		ModelCap:  *modelCap,
+		ResultCap: *resultCap,
+		Workers:   *workers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("serving models from %s on %s\n", *modelsDir, *addr)
+	fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, GET /v1/stats, GET /healthz")
+	return srv.ListenAndServe()
+}

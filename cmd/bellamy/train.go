@@ -1,0 +1,78 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// loadDataset resolves the -data argument: "sim:c3o" / "sim:bell" for
+// the seeded simulators, anything else as a CSV path.
+func loadDataset(spec string, seed int64) (*dataset.Dataset, error) {
+	switch spec {
+	case "sim:c3o":
+		return dataset.GenerateC3O(dataset.SimConfig{Seed: seed}), nil
+	case "sim:bell":
+		return dataset.GenerateBell(dataset.SimConfig{Seed: seed}), nil
+	case "":
+		return nil, fmt.Errorf("missing -data (CSV path, sim:c3o or sim:bell)")
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "", "training traces: CSV path, sim:c3o or sim:bell")
+	job := fs.String("job", "", "restrict training to one job's executions")
+	out := fs.String("out", "", "output model path (required)")
+	epochs := fs.Int("epochs", 250, "pre-training epochs (paper: 2500)")
+	seed := fs.Int64("seed", 1, "seed for simulation and weight init")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("train: missing -out")
+	}
+
+	ds, err := loadDataset(*data, *seed)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	execs := ds.Executions
+	if *job != "" {
+		execs = ds.ForJob(*job)
+		if len(execs) == 0 {
+			return fmt.Errorf("train: no executions for job %q (have: %s)",
+				*job, strings.Join(ds.Jobs(), ", "))
+		}
+	}
+	samples := core.SamplesFromExecutions(execs)
+
+	cfg := core.DefaultConfig()
+	cfg.PretrainEpochs = *epochs
+	cfg.Seed = *seed
+	m, err := core.New(cfg)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	fmt.Printf("pre-training on %d executions (%d epochs)...\n", len(samples), *epochs)
+	rep, err := m.Pretrain(samples)
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	if err := m.SaveFile(*out); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	fmt.Printf("trained %s: best MAE %.2fs at epoch %d, final runtime loss %.4f, took %s\n",
+		*out, rep.BestMAE, rep.BestEpoch, rep.FinalRuntimeLoss, rep.Duration.Round(0))
+	return nil
+}

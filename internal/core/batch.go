@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+)
+
+// Query is one inference request: a scale-out and the descriptive
+// properties of the execution context it runs in.
+type Query struct {
+	ScaleOut  int
+	Essential []encoding.Property
+	Optional  []encoding.Property
+}
+
+// ValidateQuery checks a query against the model's expected property
+// counts without running inference.
+func (m *Model) ValidateQuery(q Query) error {
+	if q.ScaleOut <= 0 {
+		return fmt.Errorf("core: scale-out %d must be positive", q.ScaleOut)
+	}
+	if len(q.Essential) != m.Cfg.NumEssential {
+		return fmt.Errorf("core: got %d essential properties, model expects %d",
+			len(q.Essential), m.Cfg.NumEssential)
+	}
+	if len(q.Optional) > m.Cfg.NumOptional {
+		return fmt.Errorf("core: got %d optional properties, model allows %d",
+			len(q.Optional), m.Cfg.NumOptional)
+	}
+	return nil
+}
+
+// PredictBatch estimates runtimes for many queries in a single forward
+// pass, returning seconds in input order. One batched pass amortizes the
+// per-call matrix setup and lets the matmul layer parallelize across
+// rows, which is the fast path the serving layer builds on.
+//
+// A Model is not safe for concurrent use: forward passes cache
+// per-layer state for backprop. Callers serving concurrent traffic must
+// serialize access (see internal/serve).
+func (m *Model) PredictBatch(queries []Query) ([]float64, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	samples := make([]Sample, len(queries))
+	for i, q := range queries {
+		if err := m.ValidateQuery(q); err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+		samples[i] = Sample{
+			ScaleOut:   q.ScaleOut,
+			Essential:  q.Essential,
+			Optional:   q.Optional,
+			RuntimeSec: 1, // placeholder; targets are unused in inference
+		}
+	}
+	b := m.buildBatch(samples)
+	st := m.forward(b, false, false)
+	out := make([]float64, len(queries))
+	for i := range out {
+		out[i] = m.target.ToSeconds(st.pred.At(i, 0))
+	}
+	return out, nil
+}

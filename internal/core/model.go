@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 
 	"repro/internal/encoding"
@@ -222,16 +221,8 @@ func (m *Model) backward(st *forwardState, predGrad, reconGrad *mat.Dense) {
 // properties. The model must have been trained (pre-trained and/or
 // fitted) for the estimate to be meaningful.
 func (m *Model) Predict(scaleOut int, essential, optional []encoding.Property) (float64, error) {
-	if scaleOut <= 0 {
-		return 0, fmt.Errorf("core: scale-out %d must be positive", scaleOut)
-	}
-	if len(essential) != m.Cfg.NumEssential {
-		return 0, fmt.Errorf("core: got %d essential properties, model expects %d",
-			len(essential), m.Cfg.NumEssential)
-	}
-	if len(optional) > m.Cfg.NumOptional {
-		return 0, fmt.Errorf("core: got %d optional properties, model allows %d",
-			len(optional), m.Cfg.NumOptional)
+	if err := m.ValidateQuery(Query{ScaleOut: scaleOut, Essential: essential, Optional: optional}); err != nil {
+		return 0, err
 	}
 	s := Sample{ScaleOut: scaleOut, Essential: essential, Optional: optional, RuntimeSec: 1}
 	b := m.buildBatch([]Sample{s})

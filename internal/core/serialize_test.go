@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// goldenQueries spans the scale-out grid and both seen and unseen
+// contexts, so the round-trip check covers interpolation and
+// extrapolation inputs alike.
+func goldenQueries() []Query {
+	var out []Query
+	for _, contexts := range []int{1, 2} {
+		samples := syntheticSamples(contexts, []int{2, 4, 6, 8, 10, 12})
+		for _, s := range samples[:6] {
+			out = append(out, Query{ScaleOut: s.ScaleOut, Essential: s.Essential, Optional: s.Optional})
+		}
+	}
+	// Unseen scale-outs (extrapolation) on the first context.
+	s := syntheticSamples(1, []int{2})[0]
+	for _, x := range []int{1, 3, 16, 24} {
+		out = append(out, Query{ScaleOut: x, Essential: s.Essential, Optional: s.Optional})
+	}
+	return out
+}
+
+// TestGoldenRoundTripBitIdentical is the reference-output check of the
+// serialization format: a model trained with a fixed seed must produce
+// bit-identical predictions after save -> load, across the whole query
+// grid. Any silent change to the wire format, the restore path, or the
+// inference graph breaks this test.
+func TestGoldenRoundTripBitIdentical(t *testing.T) {
+	cfg := testConfig()
+	cfg.PretrainEpochs = 30
+	cfg.Seed = 12345
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Pretrain(syntheticSamples(3, []int{2, 4, 6, 8, 10, 12})); err != nil {
+		t.Fatalf("Pretrain: %v", err)
+	}
+
+	queries := goldenQueries()
+	want, err := m.PredictBatch(queries)
+	if err != nil {
+		t.Fatalf("PredictBatch before save: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	got, err := loaded.PredictBatch(queries)
+	if err != nil {
+		t.Fatalf("PredictBatch after load: %v", err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("query %d: loaded model predicts %.17g, original %.17g (bit patterns %x vs %x)",
+				i, got[i], want[i], math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestRoundTripSurvivesSecondGeneration chains save -> load -> save ->
+// load and checks the grandchild still predicts bit-identically:
+// nothing is lost or re-derived between generations.
+func TestRoundTripSurvivesSecondGeneration(t *testing.T) {
+	cfg := testConfig()
+	cfg.PretrainEpochs = 20
+	cfg.Seed = 7
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Pretrain(syntheticSamples(2, []int{2, 4, 6, 8})); err != nil {
+		t.Fatalf("Pretrain: %v", err)
+	}
+	queries := goldenQueries()
+	want, err := m.PredictBatch(queries)
+	if err != nil {
+		t.Fatalf("PredictBatch: %v", err)
+	}
+
+	gen := m
+	for i := 0; i < 2; i++ {
+		var buf bytes.Buffer
+		if err := gen.Save(&buf); err != nil {
+			t.Fatalf("generation %d Save: %v", i, err)
+		}
+		gen, err = Load(&buf)
+		if err != nil {
+			t.Fatalf("generation %d Load: %v", i, err)
+		}
+	}
+	got, err := gen.PredictBatch(queries)
+	if err != nil {
+		t.Fatalf("grandchild PredictBatch: %v", err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("query %d drifted across generations: %.17g vs %.17g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict checks the batched inference path
+// against the single-query path: one forward pass over B rows must give
+// the same answers as B separate passes.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	cfg := testConfig()
+	cfg.PretrainEpochs = 20
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Pretrain(syntheticSamples(2, []int{2, 4, 6, 8, 10, 12})); err != nil {
+		t.Fatalf("Pretrain: %v", err)
+	}
+	queries := goldenQueries()
+	batch, err := m.PredictBatch(queries)
+	if err != nil {
+		t.Fatalf("PredictBatch: %v", err)
+	}
+	for i, q := range queries {
+		single, err := m.Predict(q.ScaleOut, q.Essential, q.Optional)
+		if err != nil {
+			t.Fatalf("Predict %d: %v", i, err)
+		}
+		if diff := math.Abs(single - batch[i]); diff > 1e-9*math.Abs(single) {
+			t.Fatalf("query %d: batch %v != single %v", i, batch[i], single)
+		}
+	}
+}
+
+// TestPredictBatchValidation mirrors Predict's input checking.
+func TestPredictBatchValidation(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	good := goldenQueries()[0]
+	bad := []Query{
+		{ScaleOut: 0, Essential: good.Essential, Optional: good.Optional},
+		{ScaleOut: 4, Essential: good.Essential[:2], Optional: good.Optional},
+	}
+	for i, q := range bad {
+		if _, err := m.PredictBatch([]Query{good, q}); err == nil {
+			t.Fatalf("PredictBatch accepted invalid query %d", i)
+		}
+	}
+	if out, err := m.PredictBatch(nil); err != nil || out != nil {
+		t.Fatalf("PredictBatch(nil) = %v, %v; want nil, nil", out, err)
+	}
+}

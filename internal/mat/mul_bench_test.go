@@ -1,0 +1,57 @@
+package mat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randDense(rows, cols int, rng *rand.Rand) *Dense {
+	d := NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+// BenchmarkMatMul covers the product shapes of the Bellamy hot path:
+// skinny batch-times-weights products below the parallel threshold and
+// square products above it (where Mul fans rows across cores).
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ m, k, n int }{
+		{64, 40, 8},     // property batch x encoder weights (serial)
+		{1000, 43, 16},  // 1k-request serving batch x hidden layer
+		{128, 128, 128}, // square, at the parallel threshold
+		{256, 256, 256}, // square, parallel path
+		{512, 512, 512}, // square, parallel path, cache-pressure
+	}
+	for _, s := range shapes {
+		a := randDense(s.m, s.k, rng)
+		c := randDense(s.k, s.n, rng)
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			b.SetBytes(int64(8 * s.m * s.k * s.n))
+			for i := 0; i < b.N; i++ {
+				Mul(a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulTransposed covers the backward-pass products.
+func BenchmarkMatMulTransposed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randDense(256, 64, rng)
+	g := randDense(256, 32, rng)
+	b.Run("ATB_256x64x32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MulATB(x, g)
+		}
+	})
+	w := randDense(64, 32, rng)
+	b.Run("ABT_256x32x64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MulABT(g, w)
+		}
+	})
+}

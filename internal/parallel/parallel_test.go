@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -56,6 +57,79 @@ func TestMapMoreWorkersThanItems(t *testing.T) {
 	got := Map(3, 64, func(i int) int { return i + 1 })
 	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
 		t.Fatalf("Map = %v", got)
+	}
+}
+
+// TestForEachConcurrentCallers runs many ForEach invocations from
+// separate goroutines at once — the shape the serving layer produces
+// when concurrent batches each fan out their model groups. Run under
+// -race this checks the pool has no shared mutable state across calls.
+func TestForEachConcurrentCallers(t *testing.T) {
+	const callers = 16
+	const n = 200
+	var total int64
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ForEach(n, 4, func(i int) { atomic.AddInt64(&total, int64(i)) })
+		}()
+	}
+	wg.Wait()
+	want := int64(callers) * int64(n*(n-1)/2)
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+// TestForEachNested checks that fn may itself call ForEach (batch
+// prediction inside an experiment sweep) without deadlocking or losing
+// work.
+func TestForEachNested(t *testing.T) {
+	const outer, inner = 8, 50
+	var count int64
+	ForEach(outer, 4, func(i int) {
+		ForEach(inner, 2, func(j int) { atomic.AddInt64(&count, 1) })
+	})
+	if count != outer*inner {
+		t.Fatalf("count = %d, want %d", count, outer*inner)
+	}
+}
+
+// TestForEachEachIndexOnce hammers a larger index space with maximum
+// worker contention and asserts exactly-once delivery per index.
+func TestForEachEachIndexOnce(t *testing.T) {
+	const n = 10000
+	hits := make([]int32, n)
+	ForEach(n, 64, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times, want exactly once", i, h)
+		}
+	}
+}
+
+// TestMapConcurrentCallers checks Map result isolation across
+// concurrent invocations.
+func TestMapConcurrentCallers(t *testing.T) {
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([][]int, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = Map(100, 8, func(i int) int { return c*1000 + i })
+		}(c)
+	}
+	wg.Wait()
+	for c, r := range results {
+		for i, v := range r {
+			if v != c*1000+i {
+				t.Fatalf("caller %d result[%d] = %d, want %d", c, i, v, c*1000+i)
+			}
+		}
 	}
 }
 

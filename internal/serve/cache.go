@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// resultCache memoizes prediction results under a bounded LRU policy.
+// Keys are canonical fingerprints of (model key, scale-out, properties);
+// values are predicted runtimes in seconds.
+type resultCache struct {
+	cap int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheItem struct {
+	key string
+	val float64
+}
+
+// DefaultResultCap bounds the memoized results when no capacity is given.
+const DefaultResultCap = 4096
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = DefaultResultCap
+	}
+	return &resultCache{
+		cap:     capacity,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached value for key and whether it was present.
+func (c *resultCache) get(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return 0, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// put stores val under key, evicting the least recently used entry when
+// the cache is full.
+func (c *resultCache) put(key string, val float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheItem).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheItem{key: key, val: val})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// len reports the number of memoized results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// fingerprint renders the canonical cache key of a request. Every
+// field is length-prefixed so untrusted property names and values
+// containing delimiter characters cannot collide with a different
+// request. Property order is significant — essential properties are
+// positional in the model input, and callers are expected to send
+// optional properties in a stable order.
+func fingerprint(key ModelKey, q core.Query) string {
+	var b strings.Builder
+	writeField := func(s string) {
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	writeField(key.Job)
+	writeField(key.Env)
+	b.WriteString(strconv.Itoa(q.ScaleOut))
+	for _, p := range q.Essential {
+		b.WriteByte('e')
+		writeField(p.Name)
+		writeField(p.Value)
+	}
+	for _, p := range q.Optional {
+		b.WriteByte('o')
+		writeField(p.Name)
+		writeField(p.Value)
+	}
+	return b.String()
+}

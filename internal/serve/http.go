@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+// propertyJSON is the wire form of one descriptive property.
+type propertyJSON struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// predictRequestJSON is the wire form of one prediction request.
+type predictRequestJSON struct {
+	Job       string         `json:"job"`
+	Env       string         `json:"env"`
+	ScaleOut  int            `json:"scale_out"`
+	Essential []propertyJSON `json:"essential"`
+	Optional  []propertyJSON `json:"optional,omitempty"`
+}
+
+// predictResponseJSON is the wire form of one prediction result.
+type predictResponseJSON struct {
+	RuntimeSec float64 `json:"runtime_sec,omitempty"`
+	Cached     bool    `json:"cached,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// batchRequestJSON wraps the requests of POST /v1/predict/batch.
+type batchRequestJSON struct {
+	Requests []predictRequestJSON `json:"requests"`
+}
+
+// batchResponseJSON wraps the results of POST /v1/predict/batch.
+type batchResponseJSON struct {
+	Responses []predictResponseJSON `json:"responses"`
+}
+
+// statsJSON is the wire form of GET /v1/stats.
+type statsJSON struct {
+	Requests        int64   `json:"requests"`
+	Calls           int64   `json:"calls"`
+	ResultHits      int64   `json:"result_hits"`
+	ResultMisses    int64   `json:"result_misses"`
+	ResultCacheLen  int     `json:"result_cache_len"`
+	MeanLatencyUsec float64 `json:"mean_latency_usec"`
+	ModelHits       int64   `json:"model_hits"`
+	ModelMisses     int64   `json:"model_misses"`
+	ModelLoads      int64   `json:"model_loads"`
+	ModelLoadErrors int64   `json:"model_load_errors"`
+	ModelEvictions  int64   `json:"model_evictions"`
+}
+
+func toRequest(in predictRequestJSON) (Request, error) {
+	if in.Job == "" {
+		return Request{}, fmt.Errorf("serve: request missing job")
+	}
+	q := core.Query{ScaleOut: in.ScaleOut}
+	for _, p := range in.Essential {
+		q.Essential = append(q.Essential, encoding.Property{Name: p.Name, Value: p.Value})
+	}
+	for _, p := range in.Optional {
+		q.Optional = append(q.Optional, encoding.Property{Name: p.Name, Value: p.Value, Optional: true})
+	}
+	return Request{Key: ModelKey{Job: in.Job, Env: in.Env}, Query: q}, nil
+}
+
+func toResponseJSON(r Response) predictResponseJSON {
+	if r.Err != nil {
+		return predictResponseJSON{Error: r.Err.Error()}
+	}
+	return predictResponseJSON{RuntimeSec: r.RuntimeSec, Cached: r.Cached}
+}
+
+// maxBodyBytes bounds request bodies so one oversized POST cannot
+// exhaust server memory; maxBatchRequests bounds the per-batch fan-out.
+const (
+	maxBodyBytes     = 8 << 20 // 8 MiB
+	maxBatchRequests = 10000
+)
+
+// Handler returns the HTTP API of the service:
+//
+//	POST /v1/predict        one predictRequestJSON -> predictResponseJSON
+//	POST /v1/predict/batch  batchRequestJSON -> batchResponseJSON
+//	GET  /v1/stats          statsJSON
+//	GET  /healthz           200 ok
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		var in predictRequestJSON
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		req, err := toRequest(in)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, toResponseJSON(s.Predict(req.Key, req.Query)))
+	})
+	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		var in batchRequestJSON
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if len(in.Requests) > maxBatchRequests {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch of %d requests exceeds limit %d", len(in.Requests), maxBatchRequests))
+			return
+		}
+		reqs := make([]Request, len(in.Requests))
+		resp := batchResponseJSON{Responses: make([]predictResponseJSON, len(in.Requests))}
+		bad := make([]bool, len(in.Requests))
+		for i, rj := range in.Requests {
+			req, err := toRequest(rj)
+			if err != nil {
+				resp.Responses[i] = predictResponseJSON{Error: err.Error()}
+				bad[i] = true
+				continue
+			}
+			reqs[i] = req
+		}
+		// Serve the well-formed subset in one batch.
+		var live []Request
+		var liveIdx []int
+		for i, req := range reqs {
+			if !bad[i] {
+				live = append(live, req)
+				liveIdx = append(liveIdx, i)
+			}
+		}
+		for j, out := range s.PredictBatch(live) {
+			resp.Responses[liveIdx[j]] = toResponseJSON(out)
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		writeJSON(w, statsJSON{
+			Requests:        st.Requests,
+			Calls:           st.Calls,
+			ResultHits:      st.ResultHits,
+			ResultMisses:    st.ResultMisses,
+			ResultCacheLen:  st.ResultCacheLen,
+			MeanLatencyUsec: float64(st.MeanLatency.Nanoseconds()) / 1e3,
+			ModelHits:       st.Registry.Hits,
+			ModelMisses:     st.Registry.Misses,
+			ModelLoads:      st.Registry.Loads,
+			ModelLoadErrors: st.Registry.LoadErrors,
+			ModelEvictions:  st.Registry.Evictions,
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(predictResponseJSON{Error: err.Error()})
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Service) {
+	t.Helper()
+	cl := &countingLoader{t: t}
+	svc := NewService(cl.load, Options{})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv, svc
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode
+}
+
+func wireRequest(scaleOut, sizeMB int) predictRequestJSON {
+	return predictRequestJSON{
+		Job:      "sort",
+		Env:      "c3o",
+		ScaleOut: scaleOut,
+		Essential: []propertyJSON{
+			{Name: "dataset_size_mb", Value: fmt.Sprint(sizeMB)},
+			{Name: "dataset_characteristics", Value: "uniform"},
+			{Name: "job_parameters", Value: "--iterations 100"},
+			{Name: "node_type", Value: "m4.xlarge"},
+		},
+		Optional: []propertyJSON{
+			{Name: "memory_mb", Value: "16384"},
+			{Name: "cpu_cores", Value: "4"},
+		},
+	}
+}
+
+func TestHTTPPredict(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var out predictResponseJSON
+	code := postJSON(t, srv.URL+"/v1/predict", wireRequest(4, 10000), &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if out.Error != "" || out.RuntimeSec <= 0 {
+		t.Fatalf("response = %+v, want positive runtime and no error", out)
+	}
+	// Second identical call is served from the result cache.
+	var cached predictResponseJSON
+	postJSON(t, srv.URL+"/v1/predict", wireRequest(4, 10000), &cached)
+	if !cached.Cached || cached.RuntimeSec != out.RuntimeSec {
+		t.Fatalf("second response = %+v, want cached copy of first", cached)
+	}
+}
+
+func TestHTTPPredictBatch(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	bad := wireRequest(4, 10000)
+	bad.Job = "" // malformed: rejected before it reaches the service
+	in := batchRequestJSON{Requests: []predictRequestJSON{
+		wireRequest(2, 10000), wireRequest(4, 10000), bad, wireRequest(-3, 10000),
+	}}
+	var out batchResponseJSON
+	if code := postJSON(t, srv.URL+"/v1/predict/batch", in, &out); code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if len(out.Responses) != 4 {
+		t.Fatalf("%d responses, want 4", len(out.Responses))
+	}
+	for _, i := range []int{0, 1} {
+		if out.Responses[i].Error != "" || out.Responses[i].RuntimeSec <= 0 {
+			t.Fatalf("response %d = %+v, want success", i, out.Responses[i])
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if out.Responses[i].Error == "" {
+			t.Fatalf("response %d succeeded, want error", i)
+		}
+	}
+}
+
+func TestHTTPBatchTooLarge(t *testing.T) {
+	srv, _ := newTestServer(t)
+	in := batchRequestJSON{Requests: make([]predictRequestJSON, maxBatchRequests+1)}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/predict/batch", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadJSON(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndHealth(t *testing.T) {
+	srv, svc := newTestServer(t)
+
+	svc.Predict(ModelKey{Job: "sort", Env: "c3o"}, testQuery(4, 10000))
+	svc.Predict(ModelKey{Job: "sort", Env: "c3o"}, testQuery(4, 10000))
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st statsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.Requests != 2 || st.ResultHits != 1 || st.ResultMisses != 1 || st.ModelLoads != 1 {
+		t.Fatalf("stats = %+v, want 2 requests, 1 hit, 1 miss, 1 load", st)
+	}
+
+	health, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", health.StatusCode)
+	}
+}

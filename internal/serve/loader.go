@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ModelFileName maps a key to its on-disk name: "<job>_<env>.model", or
+// "<job>.model" when the key has no environment.
+func ModelFileName(key ModelKey) string {
+	if key.Env == "" {
+		return key.Job + ".model"
+	}
+	return key.Job + "_" + key.Env + ".model"
+}
+
+// keyPartOK reports whether a job or env name is safe to embed in a
+// filename: letters, digits, '.' and '-' only. Underscores are
+// excluded because '_' separates job from env in ModelFileName, and
+// path characters because keys may originate from untrusted HTTP input.
+func keyPartOK(part string) bool {
+	for _, r := range part {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+		case r == '.':
+			// allowed, but ".." is how traversal starts
+			if strings.Contains(part, "..") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// DirLoader returns a Loader that reads models saved by
+// core.Model.SaveFile from dir, named per ModelFileName. Keys are
+// restricted to [A-Za-z0-9.-] so distinct keys always map to distinct
+// files and cannot escape dir.
+func DirLoader(dir string) Loader {
+	return func(key ModelKey) (*core.Model, error) {
+		if key.Job == "" {
+			return nil, fmt.Errorf("serve: model key missing job")
+		}
+		if !keyPartOK(key.Job) || !keyPartOK(key.Env) {
+			return nil, fmt.Errorf("serve: invalid model key %q", key)
+		}
+		return core.LoadFile(filepath.Join(dir, ModelFileName(key)))
+	}
+}

@@ -1,0 +1,182 @@
+// Package serve is the prediction-serving layer on top of the Bellamy
+// model stack: a model registry that lazily loads serialized models per
+// execution context, a bounded result cache that memoizes repeated
+// queries, and a Service exposing Predict/PredictBatch plus an HTTP
+// JSON endpoint. It turns the library into the concurrent,
+// heavy-traffic system the roadmap targets.
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// ModelKey identifies a served model by the (job, environment) context
+// it was trained for.
+type ModelKey struct {
+	Job string
+	Env string
+}
+
+// String renders the key in the job@env form used for filenames and
+// cache keys.
+func (k ModelKey) String() string { return k.Job + "@" + k.Env }
+
+// Loader materializes the model for a key, typically by reading a file
+// written by core.Model.SaveFile. It is called at most once per key for
+// any number of concurrent Get calls (single-flight), and again only
+// after a failed load or an eviction.
+type Loader func(key ModelKey) (*core.Model, error)
+
+// Model wraps a core.Model with the mutex that makes it safe to serve:
+// forward passes cache per-layer state, so concurrent inference on the
+// same underlying model must be serialized.
+type Model struct {
+	mu sync.Mutex
+	m  *core.Model
+}
+
+// Predict runs a single query against the underlying model.
+func (sm *Model) Predict(q core.Query) (float64, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.m.Predict(q.ScaleOut, q.Essential, q.Optional)
+}
+
+// PredictBatch runs one forward pass over all queries.
+func (sm *Model) PredictBatch(qs []core.Query) ([]float64, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.m.PredictBatch(qs)
+}
+
+// Validate checks a query against the model configuration without
+// touching forward-pass state; it needs no lock.
+func (sm *Model) Validate(q core.Query) error { return sm.m.ValidateQuery(q) }
+
+// entry is one registry slot. ready is closed when the load finishes
+// (successfully or not), letting concurrent getters wait without
+// holding the registry lock.
+type entry struct {
+	key   ModelKey
+	ready chan struct{}
+	sm    *Model
+	err   error
+	elem  *list.Element
+}
+
+// RegistryStats is a snapshot of the registry counters.
+type RegistryStats struct {
+	// Hits counts Get calls that found an entry (including waits on an
+	// in-flight load started by another goroutine).
+	Hits int64
+	// Misses counts Get calls that had to start a load.
+	Misses int64
+	// Loads counts successful loader invocations.
+	Loads int64
+	// LoadErrors counts failed loader invocations.
+	LoadErrors int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+}
+
+// Registry lazily loads and caches serving models keyed by execution
+// context. Loads are deduplicated single-flight style, and the resident
+// set is bounded by an LRU policy.
+type Registry struct {
+	loader Loader
+	cap    int
+
+	mu      sync.Mutex
+	entries map[ModelKey]*entry
+	lru     *list.List // front = most recently used
+
+	hits, misses, loads, loadErrors, evictions atomic.Int64
+}
+
+// DefaultModelCap bounds the resident models when no capacity is given.
+const DefaultModelCap = 8
+
+// NewRegistry builds a registry over loader holding at most capacity
+// models (<= 0 selects DefaultModelCap).
+func NewRegistry(loader Loader, capacity int) *Registry {
+	if capacity <= 0 {
+		capacity = DefaultModelCap
+	}
+	return &Registry{
+		loader:  loader,
+		cap:     capacity,
+		entries: map[ModelKey]*entry{},
+		lru:     list.New(),
+	}
+}
+
+// Get returns the serving model for key, loading it on first use. All
+// concurrent callers for the same key share one loader invocation. A
+// failed load is not cached: the next Get retries.
+func (r *Registry) Get(key ModelKey) (*Model, error) {
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		r.hits.Add(1)
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.sm, nil
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	for r.lru.Len() > r.cap {
+		oldest := r.lru.Back()
+		victim := oldest.Value.(*entry)
+		r.lru.Remove(oldest)
+		delete(r.entries, victim.key)
+		r.evictions.Add(1)
+	}
+	r.mu.Unlock()
+
+	r.misses.Add(1)
+	m, err := r.loader(key)
+	if err != nil {
+		e.err = fmt.Errorf("serve: loading model %s: %w", key, err)
+		r.loadErrors.Add(1)
+		close(e.ready)
+		// Drop the failed entry so a later Get can retry the load.
+		r.mu.Lock()
+		if cur, ok := r.entries[key]; ok && cur == e {
+			r.lru.Remove(e.elem)
+			delete(r.entries, key)
+		}
+		r.mu.Unlock()
+		return nil, e.err
+	}
+	e.sm = &Model{m: m}
+	r.loads.Add(1)
+	close(e.ready)
+	return e.sm, nil
+}
+
+// Len reports the number of resident (or loading) models.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lru.Len()
+}
+
+// Stats snapshots the counters.
+func (r *Registry) Stats() RegistryStats {
+	return RegistryStats{
+		Hits:       r.hits.Load(),
+		Misses:     r.misses.Load(),
+		Loads:      r.loads.Load(),
+		LoadErrors: r.loadErrors.Load(),
+		Evictions:  r.evictions.Load(),
+	}
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// Options tunes a Service.
+type Options struct {
+	// ModelCap bounds the resident models (<= 0: DefaultModelCap).
+	ModelCap int
+	// ResultCap bounds the memoized prediction results
+	// (<= 0: DefaultResultCap).
+	ResultCap int
+	// Workers bounds the per-batch fan-out across model groups
+	// (<= 0: GOMAXPROCS).
+	Workers int
+}
+
+// Request is one prediction request: which model to use and what to ask.
+type Request struct {
+	Key   ModelKey
+	Query core.Query
+}
+
+// Response carries the per-request outcome of a batch.
+type Response struct {
+	// RuntimeSec is the predicted runtime in seconds (valid when Err is nil).
+	RuntimeSec float64
+	// Cached reports whether the result came from the result cache.
+	Cached bool
+	// Err is the per-request failure, if any.
+	Err error
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	// Requests counts individual predictions asked for (batch items
+	// included).
+	Requests int64
+	// Calls counts Predict/PredictBatch invocations.
+	Calls int64
+	// ResultHits / ResultMisses count result-cache outcomes.
+	ResultHits   int64
+	ResultMisses int64
+	// ResultCacheLen is the current number of memoized results.
+	ResultCacheLen int
+	// MeanLatency is the average wall-clock time per call.
+	MeanLatency time.Duration
+	// Registry carries the model-registry counters.
+	Registry RegistryStats
+}
+
+// Service answers runtime predictions against a registry of models,
+// memoizing repeated queries and fanning batches across models. It is
+// safe for concurrent use.
+type Service struct {
+	reg     *Registry
+	results *resultCache
+	workers int
+
+	requests, calls          atomic.Int64
+	resultHits, resultMisses atomic.Int64
+	latencyNS                atomic.Int64
+}
+
+// NewService builds a service loading models through loader.
+func NewService(loader Loader, opts Options) *Service {
+	return &Service{
+		reg:     NewRegistry(loader, opts.ModelCap),
+		results: newResultCache(opts.ResultCap),
+		workers: opts.Workers,
+	}
+}
+
+// Registry exposes the underlying model registry (e.g. for warm-up).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Predict answers a single request.
+func (s *Service) Predict(key ModelKey, q core.Query) Response {
+	start := time.Now()
+	defer s.observe(start, 1)
+	return s.predictOne(key, q)
+}
+
+func (s *Service) predictOne(key ModelKey, q core.Query) Response {
+	fp := fingerprint(key, q)
+	if v, ok := s.results.get(fp); ok {
+		s.resultHits.Add(1)
+		return Response{RuntimeSec: v, Cached: true}
+	}
+	s.resultMisses.Add(1)
+	sm, err := s.reg.Get(key)
+	if err != nil {
+		return Response{Err: err}
+	}
+	v, err := sm.Predict(q)
+	if err != nil {
+		return Response{Err: err}
+	}
+	s.results.put(fp, v)
+	return Response{RuntimeSec: v}
+}
+
+// missGroup gathers the batch positions that share one distinct
+// (model, query) fingerprint, so a query repeated within a batch costs
+// one model row.
+type missGroup struct {
+	fp    string
+	query core.Query
+	idxs  []int
+}
+
+// PredictBatch answers many requests at once: result-cache hits are
+// served immediately, the remaining distinct queries are grouped by
+// model and run as one forward pass per model, with model groups fanned
+// across CPU cores. Responses align with the input order.
+func (s *Service) PredictBatch(reqs []Request) []Response {
+	start := time.Now()
+	defer s.observe(start, len(reqs))
+
+	out := make([]Response, len(reqs))
+	byFP := map[string]*missGroup{}
+	groups := map[ModelKey][]*missGroup{}
+	var keys []ModelKey
+	for i, req := range reqs {
+		fp := fingerprint(req.Key, req.Query)
+		if v, ok := s.results.get(fp); ok {
+			s.resultHits.Add(1)
+			out[i] = Response{RuntimeSec: v, Cached: true}
+			continue
+		}
+		s.resultMisses.Add(1)
+		if g, ok := byFP[fp]; ok {
+			g.idxs = append(g.idxs, i)
+			continue
+		}
+		g := &missGroup{fp: fp, query: req.Query, idxs: []int{i}}
+		byFP[fp] = g
+		if _, ok := groups[req.Key]; !ok {
+			keys = append(keys, req.Key)
+		}
+		groups[req.Key] = append(groups[req.Key], g)
+	}
+
+	parallel.ForEach(len(keys), s.workers, func(k int) {
+		key := keys[k]
+		miss := groups[key]
+		sm, err := s.reg.Get(key)
+		if err != nil {
+			for _, g := range miss {
+				for _, i := range g.idxs {
+					out[i] = Response{Err: err}
+				}
+			}
+			return
+		}
+		// Validate per request so one malformed query fails alone
+		// instead of poisoning the whole forward pass.
+		valid := miss[:0]
+		for _, g := range miss {
+			if err := sm.Validate(g.query); err != nil {
+				for _, i := range g.idxs {
+					out[i] = Response{Err: err}
+				}
+				continue
+			}
+			valid = append(valid, g)
+		}
+		if len(valid) == 0 {
+			return
+		}
+		qs := make([]core.Query, len(valid))
+		for j, g := range valid {
+			qs[j] = g.query
+		}
+		preds, err := sm.PredictBatch(qs)
+		if err != nil {
+			for _, g := range valid {
+				for _, i := range g.idxs {
+					out[i] = Response{Err: err}
+				}
+			}
+			return
+		}
+		for j, g := range valid {
+			s.results.put(g.fp, preds[j])
+			for _, i := range g.idxs {
+				out[i] = Response{RuntimeSec: preds[j]}
+			}
+		}
+	})
+	return out
+}
+
+func (s *Service) observe(start time.Time, n int) {
+	s.latencyNS.Add(int64(time.Since(start)))
+	s.calls.Add(1)
+	s.requests.Add(int64(n))
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	calls := s.calls.Load()
+	var mean time.Duration
+	if calls > 0 {
+		mean = time.Duration(s.latencyNS.Load() / calls)
+	}
+	return Stats{
+		Requests:       s.requests.Load(),
+		Calls:          calls,
+		ResultHits:     s.resultHits.Load(),
+		ResultMisses:   s.resultMisses.Load(),
+		ResultCacheLen: s.results.len(),
+		MeanLatency:    mean,
+		Registry:       s.reg.Stats(),
+	}
+}
