@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/hyperopt"
 )
 
 // loadDataset resolves the -data argument: "sim:c3o" / "sim:bell" for
@@ -36,6 +37,8 @@ func runTrain(args []string) error {
 	out := fs.String("out", "", "output model path (required)")
 	epochs := fs.Int("epochs", 250, "pre-training epochs (paper: 2500)")
 	seed := fs.Int64("seed", 1, "seed for simulation and weight init")
+	trials := fs.Int("hyperopt", 0, "hyperparameter-search trials before training (paper: 12; 0 = use defaults)")
+	workers := fs.Int("hyperopt-workers", 0, "parallel trials (0 = all cores; matmuls share one bounded pool)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +63,25 @@ func runTrain(args []string) error {
 	cfg := core.DefaultConfig()
 	cfg.PretrainEpochs = *epochs
 	cfg.Seed = *seed
+
+	// Optional Table-I hyperparameter search: candidate models pre-train
+	// in parallel across cores, with their matmuls bounded by the shared
+	// mat worker pool so trial fan-out cannot oversubscribe the machine.
+	if *trials > 0 {
+		fmt.Printf("hyperopt: %d trials on %d executions...\n", *trials, len(samples))
+		opts := hyperopt.DefaultOptions()
+		opts.Trials = *trials
+		opts.Workers = *workers
+		opts.Seed = *seed
+		res, err := hyperopt.Search(cfg, samples, hyperopt.DefaultSpace(), opts)
+		if err != nil {
+			return fmt.Errorf("train: hyperopt: %w", err)
+		}
+		cfg = res.Apply(cfg)
+		fmt.Printf("hyperopt: best dropout=%.2f lr=%.0e wd=%.0e (val MAE %.2fs)\n",
+			res.Best.Dropout, res.Best.LearningRate, res.Best.WeightDecay, res.Best.ValMAE)
+	}
+
 	m, err := core.New(cfg)
 	if err != nil {
 		return fmt.Errorf("train: %w", err)
@@ -72,7 +94,8 @@ func runTrain(args []string) error {
 	if err := m.SaveFile(*out); err != nil {
 		return fmt.Errorf("train: %w", err)
 	}
-	fmt.Printf("trained %s: best MAE %.2fs at epoch %d, final runtime loss %.4f, took %s\n",
-		*out, rep.BestMAE, rep.BestEpoch, rep.FinalRuntimeLoss, rep.Duration.Round(0))
+	epochsPerSec := float64(rep.Epochs) / rep.Duration.Seconds()
+	fmt.Printf("trained %s: best MAE %.2fs at epoch %d, final runtime loss %.4f, took %s (%.0f epochs/s)\n",
+		*out, rep.BestMAE, rep.BestEpoch, rep.FinalRuntimeLoss, rep.Duration.Round(0), epochsPerSec)
 	return nil
 }

@@ -37,16 +37,38 @@ func (m *Model) ValidateQuery(q Query) error {
 // rows, which is the fast path the serving layer builds on.
 //
 // A Model is not safe for concurrent use: forward passes cache
-// per-layer state for backprop. Callers serving concurrent traffic must
-// serialize access (see internal/serve).
+// per-layer state for backprop and share the model workspace. Callers
+// serving concurrent traffic must serialize access (see internal/serve).
 func (m *Model) PredictBatch(queries []Query) ([]float64, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
-	samples := make([]Sample, len(queries))
+	out := make([]float64, len(queries))
+	if err := m.PredictBatchInto(out, queries); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictBatchInto is the allocation-free form of PredictBatch: it
+// writes the predicted runtimes into dst (len(dst) == len(queries)).
+// Batch buffers and every forward intermediate come from model-owned
+// storage, so a warm call (shapes already seen) allocates nothing.
+func (m *Model) PredictBatchInto(dst []float64, queries []Query) error {
+	if len(queries) == 0 {
+		return nil
+	}
+	if len(dst) != len(queries) {
+		return fmt.Errorf("core: dst len %d != queries len %d", len(dst), len(queries))
+	}
+	if cap(m.scratchSamples) < len(queries) {
+		m.scratchSamples = make([]Sample, len(queries))
+	}
+	samples := m.scratchSamples[:len(queries)]
 	for i, q := range queries {
 		if err := m.ValidateQuery(q); err != nil {
-			return nil, fmt.Errorf("core: query %d: %w", i, err)
+			clear(samples[:i]) // release the query slices copied so far
+			return fmt.Errorf("core: query %d: %w", i, err)
 		}
 		samples[i] = Sample{
 			ScaleOut:   q.ScaleOut,
@@ -55,11 +77,14 @@ func (m *Model) PredictBatch(queries []Query) ([]float64, error) {
 			RuntimeSec: 1, // placeholder; targets are unused in inference
 		}
 	}
-	b := m.buildBatch(samples)
-	st := m.forward(b, false, false)
-	out := make([]float64, len(queries))
-	for i := range out {
-		out[i] = m.target.ToSeconds(st.pred.At(i, 0))
+	m.fillBatch(&m.inferB, samples, nil)
+	// The batch holds encoded copies only; drop the references to the
+	// caller's query property slices so a large request batch is not
+	// pinned for the model's lifetime.
+	clear(samples)
+	st := m.forward(&m.inferB, false, false)
+	for i := range dst {
+		dst[i] = m.target.ToSeconds(st.pred.At(i, 0))
 	}
-	return out, nil
+	return nil
 }

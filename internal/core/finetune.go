@@ -105,7 +105,11 @@ func (m *Model) Finetune(samples []Sample, opts FinetuneOptions) (*TrainReport, 
 	report := &TrainReport{}
 	var bestState nn.State
 
-	b := m.buildBatch(samples)
+	// One context batch serves both the training steps and the per-epoch
+	// MAE evaluation: fine-tuning is full-batch, so the encoded samples
+	// never change across epochs.
+	m.fillBatch(&m.trainB, samples, nil)
+	b := &m.trainB
 	for epoch := 0; epoch < maxEpochs; epoch++ {
 		if opts.Strategy == StrategyPartialUnfreeze || opts.Strategy == StrategyPartialReset {
 			if epoch == unfreezeEpoch {
@@ -114,20 +118,15 @@ func (m *Model) Finetune(samples []Sample, opts FinetuneOptions) (*TrainReport, 
 		}
 		opt.SetLR(sched.Rate(epoch))
 
-		st := m.forward(b, true, false)
-		nn.ZeroGrads(params)
-		rLoss, rGrad := huber.Compute(st.pred, b.targets)
-		m.backward(st, rGrad, nil)
-		nn.GradClip(params, cfg.GradClipNorm)
-		opt.Step(params)
+		rLoss, _ := m.trainStep(b, params, opt, huber, false)
 
 		report.FinalRuntimeLoss = rLoss
 		report.Epochs = epoch + 1
 
-		mae := m.evalMAE(samples)
+		mae := m.evalMAEBatch(b)
 		improved, stop := stopper.Observe(epoch, mae)
 		if improved {
-			bestState = nn.CaptureState(params)
+			bestState = nn.CaptureStateInto(bestState, params)
 		}
 		if stop {
 			break

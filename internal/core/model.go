@@ -11,6 +11,11 @@ import (
 // Model is the Bellamy architecture of Fig. 3: the scale-out network f,
 // the property auto-encoder g/h, and the runtime predictor z, together
 // with the feature normalizer and target scaler fixed at training time.
+//
+// A Model owns a single compute workspace plus reusable batch buffers,
+// which makes steady-state training steps and warm batched inference
+// allocation-free — and is also why a Model is not safe for concurrent
+// use (see internal/serve for the serialization wrapper).
 type Model struct {
 	Cfg Config
 
@@ -23,6 +28,21 @@ type Model struct {
 	target *TargetScaler
 	enc    *encoding.PropertyEncoder
 	rng    *rand.Rand
+
+	// ws backs every forward/backward intermediate; it is Reset at the
+	// start of each forward pass, so buffers live for exactly one
+	// forward(+backward) round.
+	ws  *mat.Workspace
+	fst forwardState
+
+	// Long-lived batch buffers (they must survive ws.Reset): trainB is
+	// refilled per training step, evalB holds the full-corpus evaluation
+	// batch, inferB serves Predict/PredictBatch.
+	trainB, evalB, inferB batch
+
+	scratchSamples []Sample
+	scratchQuery   [1]Query
+	scratchPred    [1]float64
 
 	pretrained bool
 }
@@ -58,6 +78,7 @@ func New(cfg Config) (*Model, error) {
 		target: &TargetScaler{Scale: 1},
 		enc:    encoding.NewPropertyEncoder(cfg.PropertySize),
 		rng:    rng,
+		ws:     mat.NewWorkspace(),
 	}
 	return m, nil
 }
@@ -92,7 +113,9 @@ func (m *Model) componentParams(name string) []*nn.Param {
 // Pretrained reports whether the model went through Pretrain.
 func (m *Model) Pretrained() bool { return m.pretrained }
 
-// batch is the matrix representation of a set of samples.
+// batch is the matrix representation of a set of samples. Its buffers
+// are long-lived and refilled in place, so rebuilding a batch of an
+// already-seen size allocates nothing.
 type batch struct {
 	scaleFeat *mat.Dense // B x 3, normalized
 	propVecs  *mat.Dense // (B * P) x N, P = NumEssential + NumOptional slots used
@@ -102,41 +125,66 @@ type batch struct {
 	runtimes  []float64  // raw seconds
 }
 
-// buildBatch encodes samples into matrices. Optional properties may be
-// fewer than cfg.NumOptional; missing ones contribute nothing to the
-// optional mean.
-func (m *Model) buildBatch(samples []Sample) *batch {
+// ensure shapes the batch buffers for bSize samples, reusing backing
+// storage whenever capacity allows.
+func (b *batch) ensure(bSize, propsPer, propSize int) {
+	b.scaleFeat = mat.Resized(b.scaleFeat, bSize, 3)
+	b.propVecs = mat.Resized(b.propVecs, bSize*propsPer, propSize)
+	b.propsPer = propsPer
+	b.targets = mat.Resized(b.targets, bSize, 1)
+	if cap(b.numOpt) < bSize {
+		b.numOpt = make([]int, bSize)
+	}
+	b.numOpt = b.numOpt[:bSize]
+	if cap(b.runtimes) < bSize {
+		b.runtimes = make([]float64, bSize)
+	}
+	b.runtimes = b.runtimes[:bSize]
+}
+
+// fillBatch encodes the selected samples into b. idx selects (and
+// orders) samples; a nil idx encodes all of them in order, without
+// copying any Sample. Optional properties may be fewer than
+// cfg.NumOptional; missing slots are zeroed so they contribute nothing
+// to the optional mean.
+func (m *Model) fillBatch(b *batch, samples []Sample, idx []int) {
 	cfg := m.Cfg
 	bSize := len(samples)
-	propsPer := cfg.NumEssential + cfg.NumOptional
-	b := &batch{
-		scaleFeat: mat.NewDense(bSize, 3),
-		propVecs:  mat.NewDense(bSize*propsPer, cfg.PropertySize),
-		propsPer:  propsPer,
-		numOpt:    make([]int, bSize),
-		targets:   mat.NewDense(bSize, 1),
-		runtimes:  make([]float64, bSize),
+	if idx != nil {
+		bSize = len(idx)
 	}
-	for i, s := range samples {
-		copy(b.scaleFeat.Row(i), m.norm.Transform(ScaleOutFeatures(s.ScaleOut)))
+	propsPer := cfg.NumEssential + cfg.NumOptional
+	b.ensure(bSize, propsPer, cfg.PropertySize)
+	for i := 0; i < bSize; i++ {
+		s := &samples[i]
+		if idx != nil {
+			s = &samples[idx[i]]
+		}
+		feat := b.scaleFeat.Row(i)
+		ScaleOutFeaturesInto(feat, s.ScaleOut)
+		m.norm.TransformInPlace(feat)
 		for k, p := range s.Essential {
-			v, _ := m.enc.Encode(p.Value)
-			copy(b.propVecs.Row(i*propsPer+k), v)
+			m.enc.EncodeTo(b.propVecs.Row(i*propsPer+k), p.Value)
 		}
 		b.numOpt[i] = len(s.Optional)
 		for k, p := range s.Optional {
-			v, _ := m.enc.Encode(p.Value)
-			copy(b.propVecs.Row(i*propsPer+cfg.NumEssential+k), v)
+			m.enc.EncodeTo(b.propVecs.Row(i*propsPer+cfg.NumEssential+k), p.Value)
+		}
+		for k := len(s.Optional); k < cfg.NumOptional; k++ {
+			row := b.propVecs.Row(i*propsPer + cfg.NumEssential + k)
+			for j := range row {
+				row[j] = 0
+			}
 		}
 		b.targets.Set(i, 0, m.target.ToScaled(s.RuntimeSec))
 		b.runtimes[i] = s.RuntimeSec
 	}
-	return b
 }
 
-// forward runs the full architecture on a batch, returning the scaled
-// runtime predictions together with every intermediate needed for the
-// backward pass.
+// forwardState carries the intermediates of one forward pass that the
+// backward pass needs. All matrices live in the model workspace and are
+// recycled by the next forward call; the struct itself is embedded in
+// the Model so running a pass allocates nothing.
 type forwardState struct {
 	b       *batch
 	e       *mat.Dense // B x F
@@ -148,17 +196,23 @@ type forwardState struct {
 	doRecon bool
 }
 
+// forward runs the full architecture on a batch, returning the scaled
+// runtime predictions together with every intermediate needed for the
+// backward pass. The returned state is valid until the next forward
+// call on this model.
 func (m *Model) forward(b *batch, train, doRecon bool) *forwardState {
 	cfg := m.Cfg
-	st := &forwardState{b: b, train: train, doRecon: doRecon}
-	st.e = m.f.Forward(b.scaleFeat, train)
-	st.codes = m.g.Forward(b.propVecs, train)
+	m.ws.Reset()
+	m.fst = forwardState{b: b, train: train, doRecon: doRecon}
+	st := &m.fst
+	st.e = m.f.Forward(m.ws, b.scaleFeat, train)
+	st.codes = m.g.Forward(m.ws, b.propVecs, train)
 	if doRecon {
-		st.recon = m.h.Forward(st.codes, train)
+		st.recon = m.h.Forward(m.ws, st.codes, train)
 	}
 	// Assemble r = e ⊕ essential codes ⊕ mean(optional codes) (Eq. 5).
 	bSize := b.scaleFeat.Rows
-	st.r = mat.NewDense(bSize, cfg.CombinedDim())
+	st.r = m.ws.Get(bSize, cfg.CombinedDim())
 	for i := 0; i < bSize; i++ {
 		row := st.r.Row(i)
 		copy(row[:cfg.ScaleOutDim], st.e.Row(i))
@@ -177,7 +231,7 @@ func (m *Model) forward(b *batch, train, doRecon bool) *forwardState {
 			}
 		}
 	}
-	st.pred = m.z.Forward(st.r, train)
+	st.pred = m.z.Forward(m.ws, st.r, train)
 	return st
 }
 
@@ -187,12 +241,13 @@ func (m *Model) forward(b *batch, train, doRecon bool) *forwardState {
 // the caller steps the optimizer.
 func (m *Model) backward(st *forwardState, predGrad, reconGrad *mat.Dense) {
 	cfg := m.Cfg
-	gradR := m.z.Backward(predGrad)
+	gradR := m.z.Backward(m.ws, predGrad)
 
 	// Split gradR into the f part and the code parts.
 	bSize := gradR.Rows
-	gradE := mat.SliceCols(gradR, 0, cfg.ScaleOutDim)
-	gradCodes := mat.NewDense(st.codes.Rows, cfg.EncodingDim)
+	gradE := m.ws.GetRaw(bSize, cfg.ScaleOutDim)
+	mat.SliceColsTo(gradE, gradR, 0, cfg.ScaleOutDim)
+	gradCodes := m.ws.Get(st.codes.Rows, cfg.EncodingDim)
 	for i := 0; i < bSize; i++ {
 		row := gradR.Row(i)
 		off := cfg.ScaleOutDim
@@ -211,10 +266,10 @@ func (m *Model) backward(st *forwardState, predGrad, reconGrad *mat.Dense) {
 		}
 	}
 	if reconGrad != nil {
-		mat.AddInPlace(gradCodes, m.h.Backward(reconGrad))
+		mat.AddInPlace(gradCodes, m.h.Backward(m.ws, reconGrad))
 	}
-	m.g.Backward(gradCodes)
-	m.f.Backward(gradE)
+	m.g.Backward(m.ws, gradCodes)
+	m.f.Backward(m.ws, gradE)
 }
 
 // Predict estimates the runtime in seconds for a scale-out and context
@@ -224,10 +279,13 @@ func (m *Model) Predict(scaleOut int, essential, optional []encoding.Property) (
 	if err := m.ValidateQuery(Query{ScaleOut: scaleOut, Essential: essential, Optional: optional}); err != nil {
 		return 0, err
 	}
-	s := Sample{ScaleOut: scaleOut, Essential: essential, Optional: optional, RuntimeSec: 1}
-	b := m.buildBatch([]Sample{s})
-	st := m.forward(b, false, false)
-	return m.target.ToSeconds(st.pred.At(0, 0)), nil
+	m.scratchQuery[0] = Query{ScaleOut: scaleOut, Essential: essential, Optional: optional}
+	err := m.PredictBatchInto(m.scratchPred[:], m.scratchQuery[:])
+	m.scratchQuery[0] = Query{} // don't pin the caller's property slices
+	if err != nil {
+		return 0, err
+	}
+	return m.scratchPred[0], nil
 }
 
 // PropertyCodes returns the dense codes the encoder assigns to each
@@ -235,7 +293,8 @@ func (m *Model) Predict(scaleOut int, essential, optional []encoding.Property) (
 func (m *Model) PropertyCodes(props []encoding.Property) [][]float64 {
 	vecs := m.enc.EncodeAll(props)
 	in := mat.FromRows(vecs)
-	codes := m.g.Forward(in, false)
+	m.ws.Reset()
+	codes := m.g.Forward(m.ws, in, false)
 	out := make([][]float64, codes.Rows)
 	for i := range out {
 		row := make([]float64, codes.Cols)
@@ -250,8 +309,9 @@ func (m *Model) PropertyCodes(props []encoding.Property) [][]float64 {
 func (m *Model) ReconstructionError(props []encoding.Property) float64 {
 	vecs := m.enc.EncodeAll(props)
 	in := mat.FromRows(vecs)
-	codes := m.g.Forward(in, false)
-	recon := m.h.Forward(codes, false)
-	loss, _ := nn.MSELoss{}.Compute(recon, in)
+	m.ws.Reset()
+	codes := m.g.Forward(m.ws, in, false)
+	recon := m.h.Forward(m.ws, codes, false)
+	loss, _ := nn.MSELoss{}.Compute(m.ws, recon, in)
 	return loss
 }

@@ -38,21 +38,26 @@ func FitMinMax(data [][]float64) *MinMaxNormalizer {
 // the training bounds extrapolate linearly beyond (0, 1), which is what
 // lets a pre-trained model be probed at unseen scale-outs.
 func (n *MinMaxNormalizer) Transform(row []float64) []float64 {
-	if !n.fitted {
-		out := make([]float64, len(row))
-		copy(out, row)
-		return out
-	}
 	out := make([]float64, len(row))
+	copy(out, row)
+	n.TransformInPlace(out)
+	return out
+}
+
+// TransformInPlace rescales row in place, the allocation-free variant
+// used by batch construction. An unfitted normalizer leaves row as is.
+func (n *MinMaxNormalizer) TransformInPlace(row []float64) {
+	if !n.fitted {
+		return
+	}
 	for j, v := range row {
 		span := n.Max[j] - n.Min[j]
 		if span <= 0 {
-			out[j] = 0.5
+			row[j] = 0.5
 			continue
 		}
-		out[j] = (v - n.Min[j]) / span
+		row[j] = (v - n.Min[j]) / span
 	}
-	return out
 }
 
 // Fitted reports whether bounds have been determined.
@@ -91,6 +96,16 @@ func (t *TargetScaler) ToSeconds(scaled float64) float64 { return scaled * t.Sca
 // ScaleOutFeatures crafts the paper's scale-out feature vector
 // [1/x, log x, x] (§III-B).
 func ScaleOutFeatures(scaleOut int) []float64 {
+	out := make([]float64, 3)
+	ScaleOutFeaturesInto(out, scaleOut)
+	return out
+}
+
+// ScaleOutFeaturesInto writes the scale-out feature vector into dst
+// (length 3) without allocating.
+func ScaleOutFeaturesInto(dst []float64, scaleOut int) {
 	x := float64(scaleOut)
-	return []float64{1 / x, math.Log(x), x}
+	dst[0] = 1 / x
+	dst[1] = math.Log(x)
+	dst[2] = x
 }

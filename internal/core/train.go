@@ -29,6 +29,11 @@ type TrainReport struct {
 // with weight decay, alpha-dropout active. Feature normalization bounds
 // and the target scale are determined here and reused for all later
 // fine-tuning and inference.
+//
+// The epoch loop is allocation-free in steady state: mini-batches are
+// sliced from the shuffled index without copying samples, the
+// full-corpus evaluation batch is built once before the loop, and every
+// forward/backward intermediate comes from the model workspace.
 func (m *Model) Pretrain(samples []Sample) (*TrainReport, error) {
 	if err := validateSamples(m.Cfg, samples); err != nil {
 		return nil, err
@@ -49,16 +54,20 @@ func (m *Model) Pretrain(samples []Sample) (*TrainReport, error) {
 	nn.Freeze(params, false)
 	opt := nn.NewAdam(m.Cfg.LearningRate, m.Cfg.WeightDecay)
 	huber := nn.HuberLoss{Delta: m.Cfg.HuberDelta}
-	mse := nn.MSELoss{}
 
 	idx := make([]int, len(samples))
 	for i := range idx {
 		idx[i] = i
 	}
 
+	// The evaluation batch depends only on samples and the (now fixed)
+	// scalers; build it once instead of per epoch.
+	m.fillBatch(&m.evalB, samples, nil)
+
 	best := nn.NewEarlyStopper(0, 0) // track best only; no early stop in pre-training
 	var bestState nn.State
 	report := &TrainReport{}
+	doRecon := m.Cfg.ReconWeight > 0
 
 	for epoch := 0; epoch < m.Cfg.PretrainEpochs; epoch++ {
 		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
@@ -69,28 +78,8 @@ func (m *Model) Pretrain(samples []Sample) (*TrainReport, error) {
 			if hi > len(idx) {
 				hi = len(idx)
 			}
-			sub := make([]Sample, 0, hi-lo)
-			for _, j := range idx[lo:hi] {
-				sub = append(sub, samples[j])
-			}
-			b := m.buildBatch(sub)
-			doRecon := m.Cfg.ReconWeight > 0
-			st := m.forward(b, true, doRecon)
-
-			nn.ZeroGrads(params)
-			rLoss, rGrad := huber.Compute(st.pred, b.targets)
-			var reconLoss float64
-			var reconGrad *mat.Dense
-			if doRecon {
-				reconLoss, reconGrad = mse.Compute(st.recon, b.propVecs)
-				if m.Cfg.ReconWeight != 1 {
-					reconGrad = mat.Scale(m.Cfg.ReconWeight, reconGrad)
-				}
-			}
-			m.backward(st, rGrad, reconGrad)
-			nn.GradClip(params, m.Cfg.GradClipNorm)
-			opt.Step(params)
-
+			m.fillBatch(&m.trainB, samples, idx[lo:hi])
+			rLoss, reconLoss := m.trainStep(&m.trainB, params, opt, huber, doRecon)
 			epochRuntime += rLoss
 			epochRecon += reconLoss
 			batches++
@@ -100,9 +89,9 @@ func (m *Model) Pretrain(samples []Sample) (*TrainReport, error) {
 		report.Epochs = epoch + 1
 
 		// Track the best state by full-corpus MAE in seconds.
-		mae := m.evalMAE(samples)
+		mae := m.evalMAEBatch(&m.evalB)
 		if improved, _ := best.Observe(epoch, mae); improved {
-			bestState = nn.CaptureState(params)
+			bestState = nn.CaptureStateInto(bestState, params)
 		}
 	}
 	if bestState != nil {
@@ -116,10 +105,38 @@ func (m *Model) Pretrain(samples []Sample) (*TrainReport, error) {
 	return report, nil
 }
 
+// trainStep runs one optimization step on an already-filled batch:
+// forward, joint loss, backward, gradient clip, optimizer step. It is
+// the zero-allocation hot path of training (pinned by
+// TestTrainStepZeroAlloc).
+func (m *Model) trainStep(b *batch, params []*nn.Param, opt nn.Optimizer, huber nn.HuberLoss, doRecon bool) (rLoss, reconLoss float64) {
+	st := m.forward(b, true, doRecon)
+
+	nn.ZeroGrads(params)
+	rLoss, rGrad := huber.Compute(m.ws, st.pred, b.targets)
+	var reconGrad *mat.Dense
+	if doRecon {
+		reconLoss, reconGrad = nn.MSELoss{}.Compute(m.ws, st.recon, b.propVecs)
+		if m.Cfg.ReconWeight != 1 {
+			mat.ScaleTo(reconGrad, m.Cfg.ReconWeight, reconGrad)
+		}
+	}
+	m.backward(st, rGrad, reconGrad)
+	nn.GradClip(params, m.Cfg.GradClipNorm)
+	opt.Step(params)
+	return rLoss, reconLoss
+}
+
 // evalMAE computes the runtime MAE in seconds over samples with the model
 // in eval mode.
 func (m *Model) evalMAE(samples []Sample) float64 {
-	b := m.buildBatch(samples)
+	m.fillBatch(&m.evalB, samples, nil)
+	return m.evalMAEBatch(&m.evalB)
+}
+
+// evalMAEBatch computes the runtime MAE in seconds over an
+// already-filled batch.
+func (m *Model) evalMAEBatch(b *batch) float64 {
 	st := m.forward(b, false, false)
 	var sum float64
 	for i, r := range b.runtimes {
@@ -130,5 +147,5 @@ func (m *Model) evalMAE(samples []Sample) float64 {
 			sum += r - pred
 		}
 	}
-	return sum / float64(len(samples))
+	return sum / float64(len(b.runtimes))
 }

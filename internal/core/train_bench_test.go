@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+)
+
+// benchConfig is the fixed benchmark configuration: small enough to run
+// quickly, large enough that the per-epoch batch/encode/matmul work
+// dominates over setup.
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PretrainEpochs = 20
+	cfg.BatchSize = 16
+	return cfg
+}
+
+// BenchmarkPretrain measures a full (shortened) pre-training run through
+// the public API: batch construction, forward/backward, Adam steps, and
+// the per-epoch full-corpus evaluation. This is the training-side number
+// tracked in BENCH_train.json.
+func BenchmarkPretrain(b *testing.B) {
+	cfg := benchConfig()
+	samples := syntheticSamples(4, []int{2, 4, 6, 8, 10, 12})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Pretrain(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainStep measures one optimization step over one full-corpus
+// batch (a single-epoch, single-batch pre-training run), isolating the
+// per-step cost of the compute engine.
+func BenchmarkTrainStep(b *testing.B) {
+	cfg := benchConfig()
+	samples := syntheticSamples(4, []int{2, 4, 6, 8, 10, 12})
+	cfg.PretrainEpochs = 1
+	cfg.BatchSize = len(samples)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Pretrain(samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

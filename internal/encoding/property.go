@@ -27,12 +27,30 @@ func (k Kind) String() string {
 // PropertyEncoder turns a single descriptive property into a fixed-size
 // vector p ∈ R^N: a λ prefix followed by L = N-1 payload dimensions from
 // either the binarizer (natural numbers) or the hasher (text).
+//
+// Encoded vectors are memoized per value (training and serving hit the
+// same few property strings over and over), so the warm EncodeTo path is
+// a map lookup plus a copy and allocates nothing. The memo is bounded;
+// past the cap values are re-encoded on every call. The encoder is not
+// safe for concurrent use, matching the models that own it.
 type PropertyEncoder struct {
 	// N is the total output size; the paper uses 40.
 	N         int
 	hasher    *Hasher
 	binarizer *Binarizer
+
+	memo map[string]memoVec
 }
+
+type memoVec struct {
+	vec  []float64
+	kind Kind
+}
+
+// memoCap bounds the per-encoder memo. Property cardinality in Bellamy
+// workloads is tiny (job names, node types, dataset sizes); the cap only
+// guards against unbounded adversarial serve traffic.
+const memoCap = 8192
 
 // DefaultPropertySize is the paper's property vector size N=40.
 const DefaultPropertySize = 40
@@ -46,6 +64,7 @@ func NewPropertyEncoder(n int) *PropertyEncoder {
 		N:         n,
 		hasher:    NewHasher(n - 1),
 		binarizer: NewBinarizer(n - 1),
+		memo:      make(map[string]memoVec),
 	}
 }
 
@@ -66,6 +85,25 @@ func (e *PropertyEncoder) Encode(value string) ([]float64, Kind) {
 	out[0] = 0 // λ = 0: hasher
 	copy(out[1:], e.hasher.Encode(value))
 	return out, KindHashed
+}
+
+// EncodeTo writes the vectorization of value into dst (length N),
+// memoizing the result so repeated values cost a copy and no allocation.
+// It is the batch-construction kernel of the allocation-free engine.
+func (e *PropertyEncoder) EncodeTo(dst []float64, value string) Kind {
+	if len(dst) != e.N {
+		panic(fmt.Sprintf("encoding: EncodeTo dst len %d != N %d", len(dst), e.N))
+	}
+	if m, ok := e.memo[value]; ok {
+		copy(dst, m.vec)
+		return m.kind
+	}
+	vec, kind := e.Encode(value)
+	if e.memo != nil && len(e.memo) < memoCap {
+		e.memo[value] = memoVec{vec: vec, kind: kind}
+	}
+	copy(dst, vec)
+	return kind
 }
 
 // Property is one named descriptive property of a job execution context.

@@ -1,0 +1,372 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+)
+
+// The reference kernels below re-implement every product with the exact
+// summation order of the production code, so the property tests can
+// demand bit-identical results (==, not within-epsilon) from the
+// destination/in-place variants — including the parallel row-chunked
+// path, which partitions rows but never reorders a row's accumulation.
+
+func refMul(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+func refMulATB(a, b *Dense) *Dense {
+	out := NewDense(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		for i := 0; i < a.Cols; i++ {
+			av := a.At(k, i)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+func refMulABT(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func closeish(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12*(1+max(abs(a), abs(b)))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// garbageDense returns a matrix pre-filled with junk, to prove the To
+// kernels fully overwrite their destination.
+func garbageDense(rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 1e30 + float64(i)
+	}
+	return m
+}
+
+func bitIdentical(t *testing.T, name string, got, want *Dense) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if v != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want bit-identical %v", name, i, v, want.Data[i])
+		}
+	}
+}
+
+// TestQuickMulToBitIdentical covers both the serial and the pooled
+// parallel path: the largest drawn shapes exceed parallelThreshold.
+func TestQuickMulToBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(90)
+		m := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(40)
+		if rng.Intn(4) == 0 { // force the parallel path (n*m*k >= 64Ki)
+			n, m, k = 80+rng.Intn(40), 32+rng.Intn(16), 32+rng.Intn(16)
+		}
+		a := randomDense(rng, n, m)
+		b := randomDense(rng, m, k)
+		want := refMul(a, b)
+		dst := garbageDense(n, k)
+		MulTo(dst, a, b)
+		alloc := Mul(a, b)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] || alloc.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulATBToBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(60)
+		ca := 1 + rng.Intn(20)
+		cb := 1 + rng.Intn(20)
+		a := randomDense(rng, r, ca)
+		b := randomDense(rng, r, cb)
+		want := refMulATB(a, b)
+		dst := garbageDense(ca, cb)
+		MulATBTo(dst, a, b)
+		alloc := MulATB(a, b)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] || alloc.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulATBAccAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomDense(rng, 11, 5)
+	b := randomDense(rng, 11, 3)
+	prior := randomDense(rng, 5, 3)
+	dst := prior.Clone()
+	MulATBAcc(dst, a, b)
+	want := refMulATB(a, b)
+	// Accumulation folds products onto the prior value, so the summation
+	// order differs from prior+sum: compare within epsilon here. Zero
+	// prior (the MulATBTo path) is covered bit-exactly above.
+	for i := range dst.Data {
+		if got, w := dst.Data[i], prior.Data[i]+want.Data[i]; !closeish(got, w) {
+			t.Fatalf("MulATBAcc[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestQuickMulABTToBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ra := 1 + rng.Intn(40)
+		rb := 1 + rng.Intn(40)
+		c := 1 + rng.Intn(20)
+		a := randomDense(rng, ra, c)
+		b := randomDense(rng, rb, c)
+		want := refMulABT(a, b)
+		dst := garbageDense(ra, rb)
+		MulABTTo(dst, a, b)
+		alloc := MulABT(a, b)
+		for i := range want.Data {
+			if dst.Data[i] != want.Data[i] || alloc.Data[i] != want.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementwiseToKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomDense(rng, 7, 9)
+	b := randomDense(rng, 7, 9)
+	v := make([]float64, 9)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	sq := func(x float64) float64 { return x * x }
+
+	cases := []struct {
+		name string
+		run  func(dst *Dense)
+		want *Dense
+	}{
+		{"AddTo", func(d *Dense) { AddTo(d, a, b) }, Add(a, b)},
+		{"SubTo", func(d *Dense) { SubTo(d, a, b) }, Sub(a, b)},
+		{"HadamardTo", func(d *Dense) { HadamardTo(d, a, b) }, Hadamard(a, b)},
+		{"ScaleTo", func(d *Dense) { ScaleTo(d, 3.7, a) }, Scale(3.7, a)},
+		{"ApplyTo", func(d *Dense) { ApplyTo(d, a, sq) }, Apply(a, sq)},
+		{"AddRowVecTo", func(d *Dense) { AddRowVecTo(d, a, v) }, AddRowVec(a, v)},
+	}
+	for _, tc := range cases {
+		dst := garbageDense(7, 9)
+		tc.run(dst)
+		bitIdentical(t, tc.name, dst, tc.want)
+		// Aliased: dst == a must produce the same values.
+		aliased := a.Clone()
+		switch tc.name {
+		case "AddTo":
+			AddTo(aliased, aliased, b)
+		case "SubTo":
+			SubTo(aliased, aliased, b)
+		case "HadamardTo":
+			HadamardTo(aliased, aliased, b)
+		case "ScaleTo":
+			ScaleTo(aliased, 3.7, aliased)
+		case "ApplyTo":
+			ApplyTo(aliased, aliased, sq)
+		case "AddRowVecTo":
+			AddRowVecTo(aliased, aliased, v)
+		}
+		bitIdentical(t, tc.name+"(aliased)", aliased, tc.want)
+	}
+}
+
+func TestSliceColsToAndColSumsAcc(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomDense(rng, 6, 8)
+	dst := garbageDense(6, 3)
+	SliceColsTo(dst, a, 2, 5)
+	bitIdentical(t, "SliceColsTo", dst, SliceCols(a, 2, 5))
+
+	prior := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	acc := append([]float64(nil), prior...)
+	ColSumsAcc(acc, a)
+	want := ColSums(a)
+	for j := range acc {
+		if !closeish(acc[j], prior[j]+want[j]) {
+			t.Fatalf("ColSumsAcc[%d] = %v, want %v", j, acc[j], prior[j]+want[j])
+		}
+	}
+
+	vd := make([]float64, 6)
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	MulVecTo(vd, a, x)
+	wantV := MulVec(a, x)
+	for i := range vd {
+		if vd[i] != wantV[i] {
+			t.Fatalf("MulVecTo[%d] = %v, want %v", i, vd[i], wantV[i])
+		}
+	}
+}
+
+func TestWorkspaceReusesBuffersByShape(t *testing.T) {
+	w := NewWorkspace()
+	m1 := w.Get(4, 6)
+	m1.Fill(7)
+	w.Reset()
+	m2 := w.Get(4, 6)
+	if &m1.Data[0] != &m2.Data[0] {
+		t.Fatal("workspace did not recycle the same-shape buffer")
+	}
+	for i, v := range m2.Data {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	// Distinct shapes get distinct buffers; two concurrent Gets of the
+	// same shape within one round must not alias.
+	a := w.Get(4, 6)
+	b := w.Get(4, 6)
+	if &a.Data[0] == &b.Data[0] {
+		t.Fatal("two live Gets alias the same buffer")
+	}
+}
+
+func TestWorkspaceSteadyStateStopsGrowing(t *testing.T) {
+	w := NewWorkspace()
+	step := func() {
+		w.Reset()
+		_ = w.Get(8, 3)
+		_ = w.Get(8, 3)
+		_ = w.Get(16, 5)
+		_ = w.Get(1, 1)
+	}
+	step()
+	step()
+	n := w.NumBuffers()
+	for i := 0; i < 50; i++ {
+		step()
+	}
+	if got := w.NumBuffers(); got != n {
+		t.Fatalf("workspace kept growing: %d -> %d buffers", n, got)
+	}
+}
+
+func TestNilWorkspaceAllocates(t *testing.T) {
+	var w *Workspace
+	m := w.Get(2, 3)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("nil workspace Get shape %dx%d", m.Rows, m.Cols)
+	}
+	w.Reset() // must not panic
+	if w.NumBuffers() != 0 {
+		t.Fatal("nil workspace reports buffers")
+	}
+}
+
+func TestResized(t *testing.T) {
+	m := NewDense(4, 8)
+	ptr := &m.Data[0]
+	r := Resized(m, 2, 8)
+	if r != m || &r.Data[0] != ptr || r.Rows != 2 || r.Cols != 8 {
+		t.Fatal("Resized did not reuse sufficient capacity")
+	}
+	grown := Resized(r, 16, 16)
+	if grown == m {
+		t.Fatal("Resized reused insufficient capacity")
+	}
+	if got := Resized(nil, 3, 3); got.Rows != 3 || got.Cols != 3 {
+		t.Fatal("Resized(nil) did not allocate")
+	}
+}
+
+// TestMulToZeroAllocSerial pins the steady-state allocation count of the
+// serial kernel at zero.
+func TestMulToZeroAllocSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomDense(rng, 16, 24)
+	b := randomDense(rng, 24, 12)
+	dst := NewDense(16, 12)
+	if allocs := testing.AllocsPerRun(100, func() { MulTo(dst, a, b) }); allocs != 0 {
+		t.Fatalf("MulTo allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestMulNestedParallelism drives the shared worker pool from many
+// concurrent callers — the hyperopt-trials-times-matmul shape that used
+// to oversubscribe cores — and checks every product for correctness.
+func TestMulNestedParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomDense(rng, 96, 48)
+	b := randomDense(rng, 48, 32)
+	want := refMul(a, b)
+	parallel.ForEach(16, 8, func(i int) {
+		got := Mul(a, b)
+		for j := range want.Data {
+			if got.Data[j] != want.Data[j] {
+				t.Errorf("concurrent Mul %d diverged at %d", i, j)
+				return
+			}
+		}
+	})
+}

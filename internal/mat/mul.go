@@ -2,33 +2,40 @@ package mat
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
 // parallelThreshold is the minimum number of scalar multiply-adds in a
-// product before Mul fans the row loop out across goroutines. Small
-// products (the common case for Bellamy's 2-layer MLPs) stay serial to
-// avoid scheduling overhead.
+// product before MulTo fans the row loop out across the shared worker
+// pool. Small products (the common case for Bellamy's 2-layer MLPs) stay
+// serial to avoid scheduling overhead.
 const parallelThreshold = 64 * 1024
 
 // Mul returns the matrix product a*b.
 func Mul(a, b *Dense) *Dense {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-	}
 	out := NewDense(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	if work >= parallelThreshold && a.Rows > 1 {
-		mulParallel(a, b, out)
-	} else {
-		mulRange(a, b, out, 0, a.Rows)
-	}
+	MulTo(out, a, b)
 	return out
 }
 
-// mulRange computes out rows [lo,hi) of a*b using an ikj loop order that
-// streams rows of b for cache friendliness.
+// MulTo computes dst = a*b, fully overwriting dst. dst must be
+// a.Rows x b.Cols and must not alias a or b.
+func MulTo(dst, a, b *Dense) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkDst("MulTo", dst, a.Rows, b.Cols)
+	dst.Zero()
+	work := a.Rows * a.Cols * b.Cols
+	if work >= parallelThreshold && a.Rows > 1 {
+		mulParallel(a, b, dst)
+	} else {
+		mulRange(a, b, dst, 0, a.Rows)
+	}
+}
+
+// mulRange accumulates rows [lo,hi) of a*b into out using an ikj loop
+// order that streams rows of b for cache friendliness. out rows must be
+// zeroed beforehand.
 func mulRange(a, b, out *Dense, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		ar := a.Row(i)
@@ -45,33 +52,28 @@ func mulRange(a, b, out *Dense, lo, hi int) {
 	}
 }
 
-func mulParallel(a, b, out *Dense) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	chunk := (a.Rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < a.Rows; lo += chunk {
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			mulRange(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
 // MulATB returns aᵀ*b without materializing the transpose.
 func MulATB(a, b *Dense) *Dense {
+	out := NewDense(a.Cols, b.Cols)
+	MulATBAcc(out, a, b)
+	return out
+}
+
+// MulATBTo computes dst = aᵀ*b, fully overwriting dst.
+func MulATBTo(dst, a, b *Dense) {
+	checkDst("MulATBTo", dst, a.Cols, b.Cols)
+	dst.Zero()
+	MulATBAcc(dst, a, b)
+}
+
+// MulATBAcc accumulates dst += aᵀ*b without materializing the transpose.
+// It is the gradient-accumulation kernel: dW += xᵀ*grad writes straight
+// into the parameter gradient.
+func MulATBAcc(dst, a, b *Dense) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: MulATB row mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewDense(a.Cols, b.Cols)
+	checkDst("MulATBAcc", dst, a.Cols, b.Cols)
 	for k := 0; k < a.Rows; k++ {
 		ar := a.Row(k)
 		br := b.Row(k)
@@ -79,39 +81,65 @@ func MulATB(a, b *Dense) *Dense {
 			if av == 0 {
 				continue
 			}
-			or := out.Row(i)
+			or := dst.Row(i)
 			for j, bv := range br {
 				or[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MulABT returns a*bᵀ without materializing the transpose.
 func MulABT(a, b *Dense) *Dense {
+	out := NewDense(a.Rows, b.Rows)
+	MulABTTo(out, a, b)
+	return out
+}
+
+// MulABTTo computes dst = a*bᵀ, fully overwriting dst.
+func MulABTTo(dst, a, b *Dense) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MulABT col mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewDense(a.Rows, b.Rows)
+	checkDst("MulABTTo", dst, a.Rows, b.Rows)
+	bc := b.Cols
+	bd := b.Data
 	for i := 0; i < a.Rows; i++ {
 		ar := a.Row(i)
-		or := out.Row(i)
+		or := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
-			or[j] = Dot(ar, b.Row(j))
+			br := bd[j*bc : (j+1)*bc]
+			var s float64
+			for k, av := range ar {
+				s += av * br[k]
+			}
+			or[j] = s
 		}
 	}
-	return out
 }
 
 // MulVec returns the matrix-vector product a*x as a new slice.
 func MulVec(a *Dense, x []float64) []float64 {
+	out := make([]float64, a.Rows)
+	MulVecTo(out, a, x)
+	return out
+}
+
+// MulVecTo computes dst = a*x, fully overwriting dst.
+func MulVecTo(dst []float64, a *Dense, x []float64) {
 	if a.Cols != len(x) {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
 	}
-	out := make([]float64, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		out[i] = Dot(a.Row(i), x)
+	if len(dst) != a.Rows {
+		panic(fmt.Sprintf("mat: MulVecTo dst len %d != rows %d", len(dst), a.Rows))
 	}
-	return out
+	for i := 0; i < a.Rows; i++ {
+		dst[i] = Dot(a.Row(i), x)
+	}
+}
+
+func checkDst(op string, dst *Dense, rows, cols int) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("mat: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
 }

@@ -5,43 +5,74 @@ import (
 	"math"
 )
 
+// The element-wise kernels come in two flavors: an allocating form
+// (Add, Scale, ...) kept for convenience, and a destination form
+// (AddTo, ScaleTo, ...) that writes into a caller-provided matrix and
+// allocates nothing. Every destination kernel fully overwrites dst and
+// tolerates dst aliasing one of its inputs, which is what makes in-place
+// updates (ScaleTo(a, s, a)) legal.
+
 // Add returns a+b element-wise.
 func Add(a, b *Dense) *Dense {
-	sameShape("Add", a, b)
 	out := NewDense(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v + b.Data[i]
-	}
+	AddTo(out, a, b)
 	return out
+}
+
+// AddTo computes dst = a+b element-wise. dst may alias a or b.
+func AddTo(dst, a, b *Dense) {
+	sameShape("Add", a, b)
+	sameShape("AddTo(dst)", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
 }
 
 // Sub returns a-b element-wise.
 func Sub(a, b *Dense) *Dense {
-	sameShape("Sub", a, b)
 	out := NewDense(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v - b.Data[i]
-	}
+	SubTo(out, a, b)
 	return out
+}
+
+// SubTo computes dst = a-b element-wise. dst may alias a or b.
+func SubTo(dst, a, b *Dense) {
+	sameShape("Sub", a, b)
+	sameShape("SubTo(dst)", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
 }
 
 // Hadamard returns the element-wise product a*b.
 func Hadamard(a, b *Dense) *Dense {
-	sameShape("Hadamard", a, b)
 	out := NewDense(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v * b.Data[i]
-	}
+	HadamardTo(out, a, b)
 	return out
+}
+
+// HadamardTo computes dst = a⊙b element-wise. dst may alias a or b.
+func HadamardTo(dst, a, b *Dense) {
+	sameShape("Hadamard", a, b)
+	sameShape("HadamardTo(dst)", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
 }
 
 // Scale returns s*a.
 func Scale(s float64, a *Dense) *Dense {
 	out := NewDense(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = s * v
-	}
+	ScaleTo(out, s, a)
 	return out
+}
+
+// ScaleTo computes dst = s*a. dst may alias a for an in-place rescale.
+func ScaleTo(dst *Dense, s float64, a *Dense) {
+	sameShape("ScaleTo(dst)", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = s * v
+	}
 }
 
 // AddInPlace accumulates b into a.
@@ -55,39 +86,62 @@ func AddInPlace(a, b *Dense) {
 // Apply returns a new matrix with f applied to every element of a.
 func Apply(a *Dense, f func(float64) float64) *Dense {
 	out := NewDense(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = f(v)
-	}
+	ApplyTo(out, a, f)
 	return out
+}
+
+// ApplyTo computes dst[i] = f(a[i]) for every element. dst may alias a.
+func ApplyTo(dst, a *Dense, f func(float64) float64) {
+	sameShape("ApplyTo(dst)", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = f(v)
+	}
 }
 
 // AddRowVec adds the 1 x Cols row vector v to every row of a, returning a
 // new matrix. It is the broadcast used for bias addition.
 func AddRowVec(a *Dense, v []float64) *Dense {
+	out := NewDense(a.Rows, a.Cols)
+	AddRowVecTo(out, a, v)
+	return out
+}
+
+// AddRowVecTo computes dst = a + broadcast(v). dst may alias a, which is
+// the in-place bias addition of the linear layer.
+func AddRowVecTo(dst, a *Dense, v []float64) {
 	if len(v) != a.Cols {
 		panic(fmt.Sprintf("mat: AddRowVec len %d != cols %d", len(v), a.Cols))
 	}
-	out := NewDense(a.Rows, a.Cols)
+	sameShape("AddRowVecTo(dst)", dst, a)
 	for i := 0; i < a.Rows; i++ {
 		ar := a.Row(i)
-		or := out.Row(i)
+		or := dst.Row(i)
 		for j := range ar {
 			or[j] = ar[j] + v[j]
 		}
 	}
-	return out
 }
 
 // ColSums returns the per-column sums of a as a length-Cols slice.
 func ColSums(a *Dense) []float64 {
 	out := make([]float64, a.Cols)
+	ColSumsAcc(out, a)
+	return out
+}
+
+// ColSumsAcc accumulates the per-column sums of a into dst. It is the
+// bias-gradient kernel: db += colsums(grad) writes straight into the
+// parameter gradient.
+func ColSumsAcc(dst []float64, a *Dense) {
+	if len(dst) != a.Cols {
+		panic(fmt.Sprintf("mat: ColSumsAcc dst len %d != cols %d", len(dst), a.Cols))
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
 }
 
 // Dot returns the inner product of two equal-length vectors.
@@ -157,14 +211,22 @@ func Concat(ms ...*Dense) *Dense {
 
 // SliceCols returns a copy of columns [from, to) of a.
 func SliceCols(a *Dense, from, to int) *Dense {
+	out := NewDense(a.Rows, to-from)
+	SliceColsTo(out, a, from, to)
+	return out
+}
+
+// SliceColsTo copies columns [from, to) of a into dst.
+func SliceColsTo(dst, a *Dense, from, to int) {
 	if from < 0 || to > a.Cols || from > to {
 		panic(fmt.Sprintf("mat: SliceCols [%d,%d) out of bounds cols=%d", from, to, a.Cols))
 	}
-	out := NewDense(a.Rows, to-from)
-	for i := 0; i < a.Rows; i++ {
-		copy(out.Row(i), a.Row(i)[from:to])
+	if dst.Rows != a.Rows || dst.Cols != to-from {
+		panic(fmt.Sprintf("mat: SliceColsTo dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, to-from))
 	}
-	return out
+	for i := 0; i < a.Rows; i++ {
+		copy(dst.Row(i), a.Row(i)[from:to])
+	}
 }
 
 func sameShape(op string, a, b *Dense) {

@@ -1,0 +1,95 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The shared matmul worker pool. Large multiplications split their row
+// range into chunks that workers claim with an atomic counter; the
+// calling goroutine always participates, so a saturated pool degrades to
+// serial execution instead of blocking. Because the pool is bounded at
+// GOMAXPROCS-1 resident workers for the whole process, nested
+// parallelism (e.g. hyperopt trials fanned across cores, each running
+// matmuls) cannot oversubscribe the machine the way per-call goroutine
+// spawning did.
+
+// mulJob is one parallel multiplication: workers claim row chunks via the
+// atomic next counter. Jobs are pooled so steady-state parallel matmuls
+// allocate nothing.
+type mulJob struct {
+	a, b, out *Dense
+	chunk     int
+	next      atomic.Int64
+	wg        sync.WaitGroup
+}
+
+func (j *mulJob) run() {
+	defer j.wg.Done()
+	rows := j.a.Rows
+	nChunks := (rows + j.chunk - 1) / j.chunk
+	for {
+		t := int(j.next.Add(1)) - 1
+		if t >= nChunks {
+			return
+		}
+		lo := t * j.chunk
+		hi := lo + j.chunk
+		if hi > rows {
+			hi = rows
+		}
+		mulRange(j.a, j.b, j.out, lo, hi)
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan *mulJob
+	jobPool  = sync.Pool{New: func() any { return new(mulJob) }}
+)
+
+func startPool() {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 1 {
+		n = 1
+	}
+	poolCh = make(chan *mulJob, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range poolCh {
+				j.run()
+			}
+		}()
+	}
+}
+
+// mulParallel computes out = a*b (out already zeroed) by fanning row
+// chunks across the shared worker pool. Submission is non-blocking: when
+// the pool is busy the caller simply computes more chunks itself.
+func mulParallel(a, b, out *Dense) {
+	poolOnce.Do(startPool)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	j := jobPool.Get().(*mulJob)
+	j.a, j.b, j.out = a, b, out
+	j.chunk = (a.Rows + workers - 1) / workers
+	j.next.Store(0)
+submit:
+	for i := 0; i < workers-1; i++ {
+		j.wg.Add(1)
+		select {
+		case poolCh <- j:
+		default:
+			j.wg.Done()
+			break submit // pool saturated; run the rest on the caller
+		}
+	}
+	j.wg.Add(1)
+	j.run()
+	j.wg.Wait()
+	j.a, j.b, j.out = nil, nil, nil
+	jobPool.Put(j)
+}

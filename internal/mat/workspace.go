@@ -1,0 +1,99 @@
+package mat
+
+// Workspace is an arena of reusable scratch matrices keyed by shape. It
+// is the allocation backbone of the compute engine: forward/backward
+// passes Get their intermediates from a workspace instead of allocating,
+// and the owner calls Reset once per step to recycle every buffer handed
+// out since the previous Reset. In steady state (shapes repeating across
+// steps) Get never allocates.
+//
+// A Workspace is not safe for concurrent use; give each model or worker
+// its own. A nil *Workspace is valid and degrades gracefully: Get
+// allocates a fresh matrix and Reset is a no-op, so workspace-threaded
+// code also works without one.
+type Workspace struct {
+	free map[uint64][]*Dense
+	used []*Dense
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{free: make(map[uint64][]*Dense)}
+}
+
+func shapeKey(rows, cols int) uint64 {
+	return uint64(uint32(rows))<<32 | uint64(uint32(cols))
+}
+
+// Get returns a zeroed rows x cols matrix that stays valid until the next
+// Reset. Matrices are recycled by exact shape, so repeated steps with the
+// same shapes allocate nothing.
+func (w *Workspace) Get(rows, cols int) *Dense {
+	m := w.GetRaw(rows, cols)
+	if w != nil {
+		m.Zero() // NewDense (the nil-workspace path) is already zeroed
+	}
+	return m
+}
+
+// GetRaw is Get without the zeroing: the buffer's contents are
+// unspecified. It is for callers that fully overwrite the buffer (every
+// *To kernel does), saving a memset on the hot path.
+func (w *Workspace) GetRaw(rows, cols int) *Dense {
+	if w == nil {
+		return NewDense(rows, cols)
+	}
+	k := shapeKey(rows, cols)
+	if list := w.free[k]; len(list) > 0 {
+		m := list[len(list)-1]
+		w.free[k] = list[:len(list)-1]
+		w.used = append(w.used, m)
+		return m
+	}
+	m := NewDense(rows, cols)
+	w.used = append(w.used, m)
+	return m
+}
+
+// Reset recycles every matrix handed out since the previous Reset. All
+// buffers previously returned by Get become invalid for the caller.
+func (w *Workspace) Reset() {
+	if w == nil {
+		return
+	}
+	for i, m := range w.used {
+		k := shapeKey(m.Rows, m.Cols)
+		w.free[k] = append(w.free[k], m)
+		w.used[i] = nil
+	}
+	w.used = w.used[:0]
+}
+
+// NumBuffers reports how many matrices the workspace owns in total
+// (checked out plus free). It exposes steady-state behaviour to tests:
+// the count stops growing once every shape of a repeating step has been
+// seen.
+func (w *Workspace) NumBuffers() int {
+	if w == nil {
+		return 0
+	}
+	n := len(w.used)
+	for _, list := range w.free {
+		n += len(list)
+	}
+	return n
+}
+
+// Resized returns a matrix with the given shape, reusing m's backing
+// storage when it has sufficient capacity (contents are then
+// unspecified). It is the reuse primitive for long-lived buffers whose
+// shape varies between uses, e.g. batch matrices that outlive a
+// per-step workspace Reset. A nil m always allocates.
+func Resized(m *Dense, rows, cols int) *Dense {
+	if m != nil && cap(m.Data) >= rows*cols && rows >= 0 && cols >= 0 {
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:rows*cols]
+		return m
+	}
+	return NewDense(rows, cols)
+}

@@ -121,20 +121,61 @@ type ActLayer struct {
 // NewActLayer wraps act as a Layer.
 func NewActLayer(act Activation) *ActLayer { return &ActLayer{Act: act} }
 
-// Forward implements Layer.
-func (l *ActLayer) Forward(x *mat.Dense, train bool) *mat.Dense {
+// Forward implements Layer. The element loops are specialized per
+// concrete activation so the per-element calls devirtualize and inline;
+// the results are identical to the generic interface loop.
+func (l *ActLayer) Forward(ws *mat.Workspace, x *mat.Dense, train bool) *mat.Dense {
 	l.input = x
-	return mat.Apply(x, l.Act.Apply)
+	out := ws.GetRaw(x.Rows, x.Cols)
+	switch act := l.Act.(type) {
+	case SELU:
+		for i, v := range x.Data {
+			out.Data[i] = act.Apply(v)
+		}
+	case Tanh:
+		for i, v := range x.Data {
+			out.Data[i] = math.Tanh(v)
+		}
+	case ReLU:
+		for i, v := range x.Data {
+			out.Data[i] = act.Apply(v)
+		}
+	case Identity:
+		copy(out.Data, x.Data)
+	default:
+		for i, v := range x.Data {
+			out.Data[i] = l.Act.Apply(v)
+		}
+	}
+	return out
 }
 
 // Backward implements Layer.
-func (l *ActLayer) Backward(grad *mat.Dense) *mat.Dense {
+func (l *ActLayer) Backward(ws *mat.Workspace, grad *mat.Dense) *mat.Dense {
 	if l.input == nil {
 		panic("nn: ActLayer.Backward before Forward")
 	}
-	out := mat.NewDense(grad.Rows, grad.Cols)
-	for i, g := range grad.Data {
-		out.Data[i] = g * l.Act.Derivative(l.input.Data[i])
+	out := ws.GetRaw(grad.Rows, grad.Cols)
+	in := l.input.Data
+	switch act := l.Act.(type) {
+	case SELU:
+		for i, g := range grad.Data {
+			out.Data[i] = g * act.Derivative(in[i])
+		}
+	case Tanh:
+		for i, g := range grad.Data {
+			out.Data[i] = g * act.Derivative(in[i])
+		}
+	case ReLU:
+		for i, g := range grad.Data {
+			out.Data[i] = g * act.Derivative(in[i])
+		}
+	case Identity:
+		copy(out.Data, grad.Data)
+	default:
+		for i, g := range grad.Data {
+			out.Data[i] = l.Act.Derivative(in[i]) * g
+		}
 	}
 	return out
 }
@@ -165,7 +206,7 @@ const alphaPrime = -SELULambda * SELUAlpha
 
 // Forward implements Layer. Dropout is active only when train is true and
 // P > 0; otherwise it is the identity.
-func (l *AlphaDropout) Forward(x *mat.Dense, train bool) *mat.Dense {
+func (l *AlphaDropout) Forward(ws *mat.Workspace, x *mat.Dense, train bool) *mat.Dense {
 	if !train || l.P <= 0 {
 		l.mask = nil
 		return x
@@ -178,7 +219,7 @@ func (l *AlphaDropout) Forward(x *mat.Dense, train bool) *mat.Dense {
 		l.mask = make([]bool, len(x.Data))
 	}
 	l.mask = l.mask[:len(x.Data)]
-	out := mat.NewDense(x.Rows, x.Cols)
+	out := ws.GetRaw(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		keep := l.Rng.Float64() < q
 		l.mask[i] = keep
@@ -192,11 +233,11 @@ func (l *AlphaDropout) Forward(x *mat.Dense, train bool) *mat.Dense {
 }
 
 // Backward implements Layer.
-func (l *AlphaDropout) Backward(grad *mat.Dense) *mat.Dense {
+func (l *AlphaDropout) Backward(ws *mat.Workspace, grad *mat.Dense) *mat.Dense {
 	if l.mask == nil {
 		return grad
 	}
-	out := mat.NewDense(grad.Rows, grad.Cols)
+	out := ws.Get(grad.Rows, grad.Cols)
 	for i, g := range grad.Data {
 		if l.mask[i] {
 			out.Data[i] = g * l.scale

@@ -11,9 +11,16 @@ import (
 // it needs for Backward; Backward consumes the gradient w.r.t. its output,
 // accumulates parameter gradients, and returns the gradient w.r.t. its
 // input.
+//
+// Both passes draw their output buffers from the caller's workspace, so a
+// steady-state training step allocates nothing. Buffers returned by
+// Forward/Backward (and the input caches they keep) are valid until the
+// workspace is Reset; callers own the Reset cadence — typically once per
+// training step, before the forward pass. A nil workspace is allowed and
+// falls back to allocating.
 type Layer interface {
-	Forward(x *mat.Dense, train bool) *mat.Dense
-	Backward(grad *mat.Dense) *mat.Dense
+	Forward(ws *mat.Workspace, x *mat.Dense, train bool) *mat.Dense
+	Backward(ws *mat.Workspace, grad *mat.Dense) *mat.Dense
 	Params() []*Param
 }
 
@@ -39,35 +46,36 @@ func NewLinear(name string, in, out int, withBias bool, scheme InitScheme, rng *
 }
 
 // Forward implements Layer.
-func (l *Linear) Forward(x *mat.Dense, train bool) *mat.Dense {
+func (l *Linear) Forward(ws *mat.Workspace, x *mat.Dense, train bool) *mat.Dense {
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("nn: Linear %s input cols %d != in %d", l.W.Name, x.Cols, l.In))
 	}
 	l.input = x
-	y := mat.Mul(x, l.W.Value)
+	y := ws.GetRaw(x.Rows, l.Out)
+	mat.MulTo(y, x, l.W.Value)
 	if l.B != nil {
-		y = mat.AddRowVec(y, l.B.Value.Row(0))
+		mat.AddRowVecTo(y, y, l.B.Value.Row(0))
 	}
 	return y
 }
 
 // Backward implements Layer.
-func (l *Linear) Backward(grad *mat.Dense) *mat.Dense {
+func (l *Linear) Backward(ws *mat.Workspace, grad *mat.Dense) *mat.Dense {
 	if l.input == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
 	if grad.Cols != l.Out {
 		panic(fmt.Sprintf("nn: Linear %s grad cols %d != out %d", l.W.Name, grad.Cols, l.Out))
 	}
-	// dW = xᵀ * grad
-	l.W.AccumulateGrad(mat.MulATB(l.input, grad))
+	// dW += xᵀ * grad, straight into the parameter gradient.
+	mat.MulATBAcc(l.W.Grad, l.input, grad)
 	if l.B != nil {
-		bg := mat.NewDense(1, l.Out)
-		copy(bg.Data, mat.ColSums(grad))
-		l.B.AccumulateGrad(bg)
+		mat.ColSumsAcc(l.B.Grad.Row(0), grad)
 	}
 	// dx = grad * Wᵀ
-	return mat.MulABT(grad, l.W.Value)
+	dx := ws.GetRaw(grad.Rows, l.In)
+	mat.MulABTTo(dx, grad, l.W.Value)
+	return dx
 }
 
 // Params implements Layer.
@@ -89,17 +97,17 @@ type MLP struct {
 func NewMLP(layers ...Layer) *MLP { return &MLP{Layers: layers} }
 
 // Forward implements Layer by chaining all constituent layers.
-func (m *MLP) Forward(x *mat.Dense, train bool) *mat.Dense {
+func (m *MLP) Forward(ws *mat.Workspace, x *mat.Dense, train bool) *mat.Dense {
 	for _, l := range m.Layers {
-		x = l.Forward(x, train)
+		x = l.Forward(ws, x, train)
 	}
 	return x
 }
 
 // Backward implements Layer by back-propagating through all layers.
-func (m *MLP) Backward(grad *mat.Dense) *mat.Dense {
+func (m *MLP) Backward(ws *mat.Workspace, grad *mat.Dense) *mat.Dense {
 	for i := len(m.Layers) - 1; i >= 0; i-- {
-		grad = m.Layers[i].Backward(grad)
+		grad = m.Layers[i].Backward(ws, grad)
 	}
 	return grad
 }

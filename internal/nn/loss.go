@@ -8,11 +8,13 @@ import (
 )
 
 // Loss computes a scalar loss and the gradient of the mean loss with
-// respect to the prediction matrix.
+// respect to the prediction matrix. The gradient buffer comes from the
+// caller's workspace (valid until its next Reset); a nil workspace
+// allocates.
 type Loss interface {
 	Name() string
 	// Compute returns the mean loss over all elements and dLoss/dPred.
-	Compute(pred, target *mat.Dense) (float64, *mat.Dense)
+	Compute(ws *mat.Workspace, pred, target *mat.Dense) (float64, *mat.Dense)
 }
 
 // MSELoss is the mean squared error, used for the auto-encoder
@@ -23,10 +25,10 @@ type MSELoss struct{}
 func (MSELoss) Name() string { return "mse" }
 
 // Compute implements Loss.
-func (MSELoss) Compute(pred, target *mat.Dense) (float64, *mat.Dense) {
+func (MSELoss) Compute(ws *mat.Workspace, pred, target *mat.Dense) (float64, *mat.Dense) {
 	checkLossShapes("mse", pred, target)
 	n := float64(len(pred.Data))
-	grad := mat.NewDense(pred.Rows, pred.Cols)
+	grad := ws.GetRaw(pred.Rows, pred.Cols)
 	var sum float64
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
@@ -49,14 +51,14 @@ type HuberLoss struct {
 func (HuberLoss) Name() string { return "huber" }
 
 // Compute implements Loss.
-func (h HuberLoss) Compute(pred, target *mat.Dense) (float64, *mat.Dense) {
+func (h HuberLoss) Compute(ws *mat.Workspace, pred, target *mat.Dense) (float64, *mat.Dense) {
 	checkLossShapes("huber", pred, target)
 	delta := h.Delta
 	if delta == 0 {
 		delta = 1
 	}
 	n := float64(len(pred.Data))
-	grad := mat.NewDense(pred.Rows, pred.Cols)
+	grad := ws.GetRaw(pred.Rows, pred.Cols)
 	var sum float64
 	for i, p := range pred.Data {
 		d := p - target.Data[i]

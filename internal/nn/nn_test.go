@@ -9,6 +9,11 @@ import (
 	"repro/internal/mat"
 )
 
+// ws is the shared test workspace. Tests in this package run
+// sequentially (none call t.Parallel), so sharing one arena is safe and
+// exercises the buffer-recycling path across many shapes.
+var ws = mat.NewWorkspace()
+
 func TestSELUValues(t *testing.T) {
 	s := SELU{}
 	if got := s.Apply(1); math.Abs(got-SELULambda) > 1e-12 {
@@ -56,7 +61,7 @@ func TestLinearForwardShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	l := NewLinear("t", 3, 5, true, InitHe, rng)
 	x := mat.NewDense(4, 3)
-	y := l.Forward(x, false)
+	y := l.Forward(ws, x, false)
 	if y.Rows != 4 || y.Cols != 5 {
 		t.Fatalf("output shape %dx%d, want 4x5", y.Rows, y.Cols)
 	}
@@ -72,7 +77,7 @@ func TestLinearNoBias(t *testing.T) {
 		t.Fatalf("Params len = %d, want 1", got)
 	}
 	// Zero input must map to zero output without bias.
-	y := l.Forward(mat.NewDense(1, 2), false)
+	y := l.Forward(ws, mat.NewDense(1, 2), false)
 	if y.Data[0] != 0 || y.Data[1] != 0 {
 		t.Fatalf("no-bias layer maps 0 to %v", y.Data)
 	}
@@ -84,18 +89,18 @@ func gradCheck(t *testing.T, net *MLP, x, target *mat.Dense, loss Loss) {
 	t.Helper()
 	params := net.Params()
 	ZeroGrads(params)
-	pred := net.Forward(x, false)
-	_, g := loss.Compute(pred, target)
-	net.Backward(g)
+	pred := net.Forward(ws, x, false)
+	_, g := loss.Compute(ws, pred, target)
+	net.Backward(ws, g)
 
 	const h = 1e-5
 	for _, p := range params {
 		for i := range p.Value.Data {
 			orig := p.Value.Data[i]
 			p.Value.Data[i] = orig + h
-			lp, _ := loss.Compute(net.Forward(x, false), target)
+			lp, _ := loss.Compute(ws, net.Forward(ws, x, false), target)
 			p.Value.Data[i] = orig - h
-			lm, _ := loss.Compute(net.Forward(x, false), target)
+			lm, _ := loss.Compute(ws, net.Forward(ws, x, false), target)
 			p.Value.Data[i] = orig
 			want := (lp - lm) / (2 * h)
 			got := p.Grad.Data[i]
@@ -142,7 +147,7 @@ func TestGradCheckIdentityOut(t *testing.T) {
 func TestMSELoss(t *testing.T) {
 	pred := mat.FromRows([][]float64{{2}, {4}})
 	target := mat.FromRows([][]float64{{1}, {2}})
-	l, g := MSELoss{}.Compute(pred, target)
+	l, g := MSELoss{}.Compute(ws, pred, target)
 	if math.Abs(l-2.5) > 1e-12 { // (1 + 4)/2
 		t.Fatalf("MSE = %v, want 2.5", l)
 	}
@@ -155,7 +160,7 @@ func TestHuberLossRegions(t *testing.T) {
 	h := HuberLoss{Delta: 1}
 	pred := mat.FromRows([][]float64{{0.5}, {3}})
 	target := mat.FromRows([][]float64{{0}, {0}})
-	l, g := h.Compute(pred, target)
+	l, g := h.Compute(ws, pred, target)
 	// 0.5*0.25 + 1*(3-0.5) = 0.125 + 2.5 = 2.625; mean = 1.3125
 	if math.Abs(l-1.3125) > 1e-12 {
 		t.Fatalf("Huber = %v, want 1.3125", l)
@@ -322,7 +327,7 @@ func TestAlphaDropoutEvalIsIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	d := NewAlphaDropout(0.5, rng)
 	x := randDense(rng, 4, 4)
-	y := d.Forward(x, false)
+	y := d.Forward(ws, x, false)
 	if !y.Equalish(x, 0) {
 		t.Fatal("eval-mode dropout is not identity")
 	}
@@ -337,7 +342,7 @@ func TestAlphaDropoutPreservesMoments(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = rng.NormFloat64()
 	}
-	y := d.Forward(x, true)
+	y := d.Forward(ws, x, true)
 	var mean float64
 	for _, v := range y.Data {
 		mean += v
@@ -360,10 +365,10 @@ func TestAlphaDropoutBackwardMasks(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	d := NewAlphaDropout(0.5, rng)
 	x := randDense(rng, 2, 8)
-	d.Forward(x, true)
+	d.Forward(ws, x, true)
 	g := mat.NewDense(2, 8)
 	g.Fill(1)
-	back := d.Backward(g)
+	back := d.Backward(ws, g)
 	zeros, scaled := 0, 0
 	for _, v := range back.Data {
 		switch {
@@ -462,7 +467,7 @@ func TestQuickHuberProperties(t *testing.T) {
 		pred := randDense(rng, n, 1)
 		target := randDense(rng, n, 1)
 		h := HuberLoss{Delta: 1}
-		l, g := h.Compute(pred, target)
+		l, g := h.Compute(ws, pred, target)
 		if l < 0 {
 			return false
 		}
@@ -489,8 +494,8 @@ func TestQuickEvalDeterminism(t *testing.T) {
 			Dropout: 0.2, Init: InitLeCun,
 		}.Build(rng)
 		x := randDense(rng, 4, 3)
-		a := net.Forward(x, false)
-		b := net.Forward(x, false)
+		a := net.Forward(ws, x, false)
+		b := net.Forward(ws, x, false)
 		return a.Equalish(b, 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -512,15 +517,15 @@ func TestMLPTrainingReducesLoss(t *testing.T) {
 	}
 	opt := NewAdam(0.01, 0)
 	loss := MSELoss{}
-	first, _ := loss.Compute(net.Forward(x, false), y)
+	first, _ := loss.Compute(ws, net.Forward(ws, x, false), y)
 	for e := 0; e < 500; e++ {
 		ZeroGrads(net.Params())
-		pred := net.Forward(x, true)
-		_, g := loss.Compute(pred, y)
-		net.Backward(g)
+		pred := net.Forward(ws, x, true)
+		_, g := loss.Compute(ws, pred, y)
+		net.Backward(ws, g)
 		opt.Step(net.Params())
 	}
-	last, _ := loss.Compute(net.Forward(x, false), y)
+	last, _ := loss.Compute(ws, net.Forward(ws, x, false), y)
 	if last > first/10 {
 		t.Fatalf("training did not reduce loss: first=%v last=%v", first, last)
 	}
@@ -543,11 +548,13 @@ func BenchmarkForwardBackwardTwoLayer(b *testing.B) {
 	x := randDense(rng, 64, 40)
 	target := randDense(rng, 64, 4)
 	loss := MSELoss{}
+	params := net.Params()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ZeroGrads(net.Params())
-		pred := net.Forward(x, true)
-		_, g := loss.Compute(pred, target)
-		net.Backward(g)
+		ws.Reset() // recycle the previous iteration's intermediates
+		ZeroGrads(params)
+		pred := net.Forward(ws, x, true)
+		_, g := loss.Compute(ws, pred, target)
+		net.Backward(ws, g)
 	}
 }

@@ -24,6 +24,24 @@ func CaptureState(params []*Param) State {
 	return s
 }
 
+// CaptureStateInto copies the current values of params into dst, reusing
+// dst's matrices when shapes match so repeated captures (best-state
+// tracking every improved epoch) stop allocating. A nil dst allocates a
+// fresh state. It returns dst.
+func CaptureStateInto(dst State, params []*Param) State {
+	if dst == nil {
+		return CaptureState(params)
+	}
+	for _, p := range params {
+		if v, ok := dst[p.Name]; ok && v.Rows == p.Value.Rows && v.Cols == p.Value.Cols {
+			copy(v.Data, p.Value.Data)
+			continue
+		}
+		dst[p.Name] = p.Value.Clone()
+	}
+	return dst
+}
+
 // RestoreState loads captured values back into params. Every parameter
 // must be present in the state with a matching shape.
 func RestoreState(params []*Param, s State) error {

@@ -6,10 +6,14 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForEach runs fn(i) for i in [0, n) using at most workers goroutines.
 // workers <= 0 selects GOMAXPROCS. It blocks until all calls finish.
+// Indices are claimed with an atomic counter, so uneven per-index costs
+// (e.g. hyperopt trials of different epochs) balance across workers
+// without lock contention.
 func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -26,18 +30,14 @@ func ForEach(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	var next int
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
+				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}

@@ -33,8 +33,12 @@ func (k ModelKey) String() string { return k.Job + "@" + k.Env }
 type Loader func(key ModelKey) (*core.Model, error)
 
 // Model wraps a core.Model with the mutex that makes it safe to serve:
-// forward passes cache per-layer state, so concurrent inference on the
-// same underlying model must be serialized.
+// forward passes cache per-layer state and share the model-owned
+// compute workspace, so concurrent inference on the same underlying
+// model must be serialized. The workspace is what makes warm inference
+// allocation-free: each resident model keeps its own arena of scratch
+// matrices, so the batch workers fanning across models never contend
+// for buffers and never allocate in steady state.
 type Model struct {
 	mu sync.Mutex
 	m  *core.Model
@@ -49,9 +53,20 @@ func (sm *Model) Predict(q core.Query) (float64, error) {
 
 // PredictBatch runs one forward pass over all queries.
 func (sm *Model) PredictBatch(qs []core.Query) ([]float64, error) {
+	out := make([]float64, len(qs))
+	if err := sm.PredictBatchInto(out, qs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictBatchInto runs one forward pass over all queries, writing the
+// predictions into dst. Under the model lock the pass reuses the model
+// workspace, so a warm call allocates nothing.
+func (sm *Model) PredictBatchInto(dst []float64, qs []core.Query) error {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
-	return sm.m.PredictBatch(qs)
+	return sm.m.PredictBatchInto(dst, qs)
 }
 
 // Validate checks a query against the model configuration without

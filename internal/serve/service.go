@@ -177,8 +177,8 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 		for j, g := range valid {
 			qs[j] = g.query
 		}
-		preds, err := sm.PredictBatch(qs)
-		if err != nil {
+		preds := make([]float64, len(valid))
+		if err := sm.PredictBatchInto(preds, qs); err != nil {
 			for _, g := range valid {
 				for _, i := range g.idxs {
 					out[i] = Response{Err: err}
