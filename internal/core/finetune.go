@@ -96,6 +96,9 @@ func (m *Model) Finetune(samples []Sample, opts FinetuneOptions) (*TrainReport, 
 	m.applyStrategy(opts.Strategy, len(samples))
 
 	params := m.Params()
+	// Establish the fused-step invariant (gradients zero before the
+	// first backward pass), whatever ran on this model before.
+	nn.ZeroGrads(params)
 	opt := nn.NewAdam(cfg.FinetuneLRHigh, cfg.FinetuneWeightDecay)
 	sched := nn.CyclicalLR{Low: cfg.FinetuneLRLow, High: cfg.FinetuneLRHigh}
 	huber := nn.HuberLoss{Delta: cfg.HuberDelta}

@@ -52,6 +52,9 @@ func (m *Model) Pretrain(samples []Sample) (*TrainReport, error) {
 
 	params := m.Params()
 	nn.Freeze(params, false)
+	// Establish the fused-step invariant (gradients zero before the
+	// first backward pass), whatever ran on this model before.
+	nn.ZeroGrads(params)
 	opt := nn.NewAdam(m.Cfg.LearningRate, m.Cfg.WeightDecay)
 	huber := nn.HuberLoss{Delta: m.Cfg.HuberDelta}
 
@@ -109,10 +112,18 @@ func (m *Model) Pretrain(samples []Sample) (*TrainReport, error) {
 // forward, joint loss, backward, gradient clip, optimizer step. It is
 // the zero-allocation hot path of training (pinned by
 // TestTrainStepZeroAlloc).
+//
+// With a fused optimizer (Adam), clipping, the update, and gradient
+// zeroing collapse into StepClipZero's single sweep; gradients are
+// then already zero when the next step's backward pass accumulates.
+// Unfused optimizers take the classic ZeroGrads/GradClip/Step path.
 func (m *Model) trainStep(b *batch, params []*nn.Param, opt nn.Optimizer, huber nn.HuberLoss, doRecon bool) (rLoss, reconLoss float64) {
 	st := m.forward(b, true, doRecon)
 
-	nn.ZeroGrads(params)
+	fused, isFused := opt.(nn.FusedStepper)
+	if !isFused {
+		nn.ZeroGrads(params)
+	}
 	rLoss, rGrad := huber.Compute(m.ws, st.pred, b.targets)
 	var reconGrad *mat.Dense
 	if doRecon {
@@ -122,8 +133,12 @@ func (m *Model) trainStep(b *batch, params []*nn.Param, opt nn.Optimizer, huber 
 		}
 	}
 	m.backward(st, rGrad, reconGrad)
-	nn.GradClip(params, m.Cfg.GradClipNorm)
-	opt.Step(params)
+	if isFused {
+		fused.StepClipZero(params, m.Cfg.GradClipNorm)
+	} else {
+		nn.GradClip(params, m.Cfg.GradClipNorm)
+		opt.Step(params)
+	}
 	return rLoss, reconLoss
 }
 

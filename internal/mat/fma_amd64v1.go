@@ -1,0 +1,11 @@
+//go:build amd64 && !amd64.v3
+
+package mat
+
+// fmaBranchFree reports whether math.FMA compiles to a bare fused
+// instruction. Below GOAMD64=v3 the amd64 ABI cannot assume FMA
+// hardware, so every math.FMA carries a feature-flag load and branch —
+// in these load-dense kernels that costs more than fusion saves, and
+// the plain multiply-add family wins (measured on Skylake-class cores).
+// Build with GOAMD64=v3 to unlock the FMA kernels.
+const fmaBranchFree = false

@@ -1,0 +1,10 @@
+//go:build !amd64 || amd64.v3
+
+package mat
+
+// fmaBranchFree reports whether math.FMA compiles to a bare fused
+// instruction: true on GOAMD64=v3+ builds and on every non-amd64
+// architecture with an intrinsified math.FMA (arm64, ppc64, riscv64,
+// s390x, ...). Architectures whose math.FMA falls back to software
+// emulation are caught at runtime by the fmaIsFast probe instead.
+const fmaBranchFree = true

@@ -1,0 +1,417 @@
+package mat
+
+import (
+	"math"
+	"time"
+)
+
+// Register-tiled multiply kernels. Two families live here:
+//
+//   - microTile: the packed 4x4 micro-kernel of the blocked GEMM path.
+//     It multiplies a kernelMR-wide packed A panel by a kernelNR-wide
+//     packed B panel, keeping the output tile in registers across the k
+//     loop. The 4x4 tile is computed as two 2x4 register halves: 8
+//     accumulators plus 6 operands fit amd64's 16 float registers,
+//     whereas a monolithic 4x4 (16 accumulators) spills half its tile
+//     to the stack on every iteration — measured ~1.6x slower.
+//     Operands come from pack.go's contiguous panels, so every load is
+//     sequential and bounds checks vanish.
+//
+//   - mulRows / mulATBAccRange / mulABTRows / mulVecRows: direct
+//     register-tiled kernels that run straight on the row-major
+//     operands. They unroll the reduction (or the output columns) 4-
+//     or 8-way so each output element is loaded and stored once per
+//     unroll group instead of once per multiply-add, and they carry
+//     independent accumulator chains for instruction-level parallelism.
+//     They serve the small/skinny products of the Bellamy MLPs, the
+//     products whose B operand still fits in L2 (where packing is pure
+//     overhead), and the transposed products.
+//
+// Every kernel has a fused-multiply-add variant and a plain
+// multiply-add variant; fmaKernels picks the family once at startup:
+//
+//   - math.FMA must be hardware-fused (the software fallback is orders
+//     of magnitude slower) — detected by the timing probe below; and
+//   - the intrinsic must be branch-free. On amd64 below GOAMD64=v3 the
+//     ABI guards every FMA with a load-and-branch on a CPU feature
+//     flag, which costs more than the fusion saves in these
+//     load-dense loops (measured: the plain tree kernels win at every
+//     size on a v1 build, the FMA kernels win ~1.2-2x on a v3 build,
+//     where two FMA ports double the op density of mul+add pairs).
+//     Captured at compile time by the fmaBranchFree constant.
+//
+// None of the kernels branch on zero operands: the old `av == 0` skip
+// helped only on artificially sparse data and defeated pipelining on
+// the dense matrices that dominate training and serving.
+
+// fmaKernels selects the fused-multiply-add kernel family.
+var fmaKernels = fmaBranchFree && fmaIsFast()
+
+var probeSink float64
+
+// fmaIsFast distinguishes hardware math.FMA from the software fallback
+// by timing: the emulation is >20x slower than a plain multiply-add, so
+// a 4x threshold is robust to scheduling noise. Runs once at package
+// init (~tens of microseconds).
+func fmaIsFast() bool {
+	const n = 4096
+	x, y := 1.0000001, 0.99999997
+	run := func(fma bool) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for trial := 0; trial < 3; trial++ {
+			s := probeSink
+			start := time.Now()
+			if fma {
+				for i := 0; i < n; i++ {
+					s = math.FMA(x, y, s)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					s += x * y
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			probeSink = s - s // keep the loop observable, stay at zero
+		}
+		return best
+	}
+	run(false) // warm the timer and the cache lines
+	return run(true) <= 4*run(false)
+}
+
+// microTile computes dst[i0:i0+mr, j0:j0+nr] += Ap * Bp over kc packed
+// steps. ap holds kc groups of kernelMR row values, bp holds kc groups
+// of kernelNR column values; out-of-range lanes are zero-padded by the
+// packers, so the register tile always runs full width and only the
+// writeback is masked to mr x nr.
+func microTile(dst *Dense, i0, j0, mr, nr int, ap, bp []float64, kc int) {
+	var acc [kernelMR][kernelNR]float64
+	if fmaKernels {
+		microTileFMA(&acc, ap, bp, kc)
+	} else {
+		microTilePlain(&acc, ap, bp, kc)
+	}
+	if mr == kernelMR && nr == kernelNR {
+		for r := 0; r < kernelMR; r++ {
+			row := dst.Row(i0 + r)[j0 : j0+kernelNR : j0+kernelNR]
+			row[0] += acc[r][0]
+			row[1] += acc[r][1]
+			row[2] += acc[r][2]
+			row[3] += acc[r][3]
+		}
+		return
+	}
+	for r := 0; r < mr; r++ {
+		row := dst.Row(i0 + r)
+		for c := 0; c < nr; c++ {
+			row[j0+c] += acc[r][c]
+		}
+	}
+}
+
+// microTileFMA accumulates the 4x4 tile as two 2x4 register halves with
+// fused multiply-adds: per k step each half issues 8 independent FMAs,
+// exactly saturating two FMA ports without spilling. The packed
+// operands are walked by a single proven index, so the loops carry no
+// bounds checks and no per-iteration slice updates.
+func microTileFMA(acc *[kernelMR][kernelNR]float64, ap, bp []float64, kc int) {
+	n4 := 4 * kc
+	ap = ap[:n4]
+	bp = bp[:n4]
+	{
+		var c00, c01, c02, c03, c10, c11, c12, c13 float64
+		for q := 0; q+4 <= n4; q += 4 {
+			a0, a1 := ap[q], ap[q+1]
+			b0, b1, b2, b3 := bp[q], bp[q+1], bp[q+2], bp[q+3]
+			c00 = math.FMA(a0, b0, c00)
+			c01 = math.FMA(a0, b1, c01)
+			c02 = math.FMA(a0, b2, c02)
+			c03 = math.FMA(a0, b3, c03)
+			c10 = math.FMA(a1, b0, c10)
+			c11 = math.FMA(a1, b1, c11)
+			c12 = math.FMA(a1, b2, c12)
+			c13 = math.FMA(a1, b3, c13)
+		}
+		acc[0] = [kernelNR]float64{c00, c01, c02, c03}
+		acc[1] = [kernelNR]float64{c10, c11, c12, c13}
+	}
+	{
+		var c20, c21, c22, c23, c30, c31, c32, c33 float64
+		for q := 0; q+4 <= n4; q += 4 {
+			a2, a3 := ap[q+2], ap[q+3]
+			b0, b1, b2, b3 := bp[q], bp[q+1], bp[q+2], bp[q+3]
+			c20 = math.FMA(a2, b0, c20)
+			c21 = math.FMA(a2, b1, c21)
+			c22 = math.FMA(a2, b2, c22)
+			c23 = math.FMA(a2, b3, c23)
+			c30 = math.FMA(a3, b0, c30)
+			c31 = math.FMA(a3, b1, c31)
+			c32 = math.FMA(a3, b2, c32)
+			c33 = math.FMA(a3, b3, c33)
+		}
+		acc[2] = [kernelNR]float64{c20, c21, c22, c23}
+		acc[3] = [kernelNR]float64{c30, c31, c32, c33}
+	}
+}
+
+// microTilePlain is the multiply-add form of microTileFMA for builds
+// and CPUs where math.FMA does not pay.
+func microTilePlain(acc *[kernelMR][kernelNR]float64, ap, bp []float64, kc int) {
+	n4 := 4 * kc
+	ap = ap[:n4]
+	bp = bp[:n4]
+	{
+		var c00, c01, c02, c03, c10, c11, c12, c13 float64
+		for q := 0; q+4 <= n4; q += 4 {
+			a0, a1 := ap[q], ap[q+1]
+			b0, b1, b2, b3 := bp[q], bp[q+1], bp[q+2], bp[q+3]
+			c00 += a0 * b0
+			c01 += a0 * b1
+			c02 += a0 * b2
+			c03 += a0 * b3
+			c10 += a1 * b0
+			c11 += a1 * b1
+			c12 += a1 * b2
+			c13 += a1 * b3
+		}
+		acc[0] = [kernelNR]float64{c00, c01, c02, c03}
+		acc[1] = [kernelNR]float64{c10, c11, c12, c13}
+	}
+	{
+		var c20, c21, c22, c23, c30, c31, c32, c33 float64
+		for q := 0; q+4 <= n4; q += 4 {
+			a2, a3 := ap[q+2], ap[q+3]
+			b0, b1, b2, b3 := bp[q], bp[q+1], bp[q+2], bp[q+3]
+			c20 += a2 * b0
+			c21 += a2 * b1
+			c22 += a2 * b2
+			c23 += a2 * b3
+			c30 += a3 * b0
+			c31 += a3 * b1
+			c32 += a3 * b2
+			c33 += a3 * b3
+		}
+		acc[2] = [kernelNR]float64{c20, c21, c22, c23}
+		acc[3] = [kernelNR]float64{c30, c31, c32, c33}
+	}
+}
+
+// mulRows accumulates rows [lo,hi) of a*b into dst (rows pre-zeroed).
+// The reduction is unrolled 8-way (with 4-way and scalar tails): each
+// pass streams 8 rows of b and touches the output row once per 8
+// multiply-adds. The FMA variant splits each element's update into two
+// independent 4-deep chains to stay ahead of the fused-multiply-add
+// latency; the plain variant sums a balanced tree.
+func mulRows(dst, a, b *Dense, lo, hi int) {
+	k := a.Cols
+	fma := fmaKernels
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		or := dst.Row(i)
+		n := len(or)
+		p := 0
+		for ; p+8 <= k; p += 8 {
+			a0, a1, a2, a3 := ar[p], ar[p+1], ar[p+2], ar[p+3]
+			a4, a5, a6, a7 := ar[p+4], ar[p+5], ar[p+6], ar[p+7]
+			b0 := b.Row(p)[:n:n]
+			b1 := b.Row(p + 1)[:n:n]
+			b2 := b.Row(p + 2)[:n:n]
+			b3 := b.Row(p + 3)[:n:n]
+			b4 := b.Row(p + 4)[:n:n]
+			b5 := b.Row(p + 5)[:n:n]
+			b6 := b.Row(p + 6)[:n:n]
+			b7 := b.Row(p + 7)[:n:n]
+			if fma {
+				for j := range or {
+					c0 := math.FMA(a3, b3[j], math.FMA(a2, b2[j], math.FMA(a1, b1[j], math.FMA(a0, b0[j], or[j]))))
+					c1 := math.FMA(a7, b7[j], math.FMA(a6, b6[j], math.FMA(a5, b5[j], a4*b4[j])))
+					or[j] = c0 + c1
+				}
+			} else {
+				for j := range or {
+					or[j] += ((a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j])) +
+						((a4*b4[j] + a5*b5[j]) + (a6*b6[j] + a7*b7[j]))
+				}
+			}
+		}
+		for ; p+4 <= k; p += 4 {
+			a0, a1, a2, a3 := ar[p], ar[p+1], ar[p+2], ar[p+3]
+			b0 := b.Row(p)[:n:n]
+			b1 := b.Row(p + 1)[:n:n]
+			b2 := b.Row(p + 2)[:n:n]
+			b3 := b.Row(p + 3)[:n:n]
+			if fma {
+				for j := range or {
+					or[j] = math.FMA(a3, b3[j], math.FMA(a2, b2[j], math.FMA(a1, b1[j], math.FMA(a0, b0[j], or[j]))))
+				}
+			} else {
+				for j := range or {
+					or[j] += (a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j])
+				}
+			}
+		}
+		for ; p < k; p++ {
+			av := ar[p]
+			br := b.Row(p)[:n:n]
+			for j := range or {
+				or[j] += av * br[j]
+			}
+		}
+	}
+}
+
+// mulATBAccRange accumulates columns [lo,hi) of aᵀ*b into dst rows
+// [lo,hi): dst[i][j] += Σ_k a[k][i]*b[k][j]. The k loop (rows of a and
+// b) is unrolled 4-way so each dst row is loaded and stored once per 4
+// rank-1 updates. All accesses stay row-contiguous, which is what lets
+// the same kernel serve as a panel body for the worker pool: a worker
+// owning an output-row panel re-reads b but touches only its dst rows.
+func mulATBAccRange(dst, a, b *Dense, lo, hi int) {
+	rows := a.Rows
+	cb := b.Cols
+	fma := fmaKernels
+	k := 0
+	for ; k+4 <= rows; k += 4 {
+		ar0 := a.Row(k)[lo:hi]
+		ar1 := a.Row(k + 1)[lo:hi]
+		ar2 := a.Row(k + 2)[lo:hi]
+		ar3 := a.Row(k + 3)[lo:hi]
+		br0 := b.Row(k)[:cb:cb]
+		br1 := b.Row(k + 1)[:cb:cb]
+		br2 := b.Row(k + 2)[:cb:cb]
+		br3 := b.Row(k + 3)[:cb:cb]
+		for i, a0 := range ar0 {
+			a1, a2, a3 := ar1[i], ar2[i], ar3[i]
+			or := dst.Row(lo + i)
+			if fma {
+				for j := range or {
+					or[j] = math.FMA(a3, br3[j], math.FMA(a2, br2[j], math.FMA(a1, br1[j], math.FMA(a0, br0[j], or[j]))))
+				}
+			} else {
+				for j := range or {
+					or[j] += (a0*br0[j] + a1*br1[j]) + (a2*br2[j] + a3*br3[j])
+				}
+			}
+		}
+	}
+	for ; k < rows; k++ {
+		ar := a.Row(k)[lo:hi]
+		br := b.Row(k)[:cb:cb]
+		for i, av := range ar {
+			or := dst.Row(lo + i)
+			for j := range or {
+				or[j] += av * br[j]
+			}
+		}
+	}
+}
+
+// mulABTRows computes rows [lo,hi) of a*bᵀ into dst. Output columns are
+// tiled 4-wide: one pass over the (contiguous) a row feeds 4 dot
+// products against 4 (contiguous) b rows, giving 4 independent
+// accumulator chains instead of one latency-bound chain per element.
+func mulABTRows(dst, a, b *Dense, lo, hi int) {
+	nb := b.Rows
+	fma := fmaKernels
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		or := dst.Row(i)
+		j := 0
+		for ; j+4 <= nb; j += 4 {
+			br0 := b.Row(j)
+			br1 := b.Row(j + 1)
+			br2 := b.Row(j + 2)
+			br3 := b.Row(j + 3)
+			var s0, s1, s2, s3 float64
+			if fma {
+				for k, av := range ar {
+					s0 = math.FMA(av, br0[k], s0)
+					s1 = math.FMA(av, br1[k], s1)
+					s2 = math.FMA(av, br2[k], s2)
+					s3 = math.FMA(av, br3[k], s3)
+				}
+			} else {
+				for k, av := range ar {
+					s0 += av * br0[k]
+					s1 += av * br1[k]
+					s2 += av * br2[k]
+					s3 += av * br3[k]
+				}
+			}
+			or[j] = s0
+			or[j+1] = s1
+			or[j+2] = s2
+			or[j+3] = s3
+		}
+		for ; j < nb; j++ {
+			or[j] = dotUnrolled(ar, b.Row(j))
+		}
+	}
+}
+
+// mulVecRows computes rows [lo,hi) of a*x into dst. Rows are tiled 4 at
+// a time so every load of x feeds 4 independent accumulator chains.
+func mulVecRows(dst []float64, a *Dense, x []float64, lo, hi int) {
+	fma := fmaKernels
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		ar0 := a.Row(i)
+		ar1 := a.Row(i + 1)
+		ar2 := a.Row(i + 2)
+		ar3 := a.Row(i + 3)
+		var s0, s1, s2, s3 float64
+		if fma {
+			for k, xv := range x {
+				s0 = math.FMA(ar0[k], xv, s0)
+				s1 = math.FMA(ar1[k], xv, s1)
+				s2 = math.FMA(ar2[k], xv, s2)
+				s3 = math.FMA(ar3[k], xv, s3)
+			}
+		} else {
+			for k, xv := range x {
+				s0 += ar0[k] * xv
+				s1 += ar1[k] * xv
+				s2 += ar2[k] * xv
+				s3 += ar3[k] * xv
+			}
+		}
+		dst[i] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < hi; i++ {
+		dst[i] = dotUnrolled(a.Row(i), x)
+	}
+}
+
+// dotUnrolled is an inner product with 4 partial sums, breaking the
+// single add-latency chain of the naive loop. The partial sums change
+// the summation order, which is why the blocked stack is specified to
+// epsilon tolerance rather than bit identity.
+func dotUnrolled(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	k := 0
+	if fmaKernels {
+		for ; k+4 <= len(a); k += 4 {
+			s0 = math.FMA(a[k], b[k], s0)
+			s1 = math.FMA(a[k+1], b[k+1], s1)
+			s2 = math.FMA(a[k+2], b[k+2], s2)
+			s3 = math.FMA(a[k+3], b[k+3], s3)
+		}
+	} else {
+		for ; k+4 <= len(a); k += 4 {
+			s0 += a[k] * b[k]
+			s1 += a[k+1] * b[k+1]
+			s2 += a[k+2] * b[k+2]
+			s3 += a[k+3] * b[k+3]
+		}
+	}
+	var s float64
+	for ; k < len(a); k++ {
+		s += a[k] * b[k]
+	}
+	return s0 + s1 + s2 + s3 + s
+}

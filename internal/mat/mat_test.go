@@ -102,7 +102,7 @@ func TestMulParallelMatchesSerial(t *testing.T) {
 	b := randomDense(rng, 120, 90)
 	got := Mul(a, b)
 	want := NewDense(80, 90)
-	mulRange(a, b, want, 0, 80)
+	mulRows(want, a, b, 0, 80)
 	if !got.Equalish(want, 1e-9) {
 		t.Fatal("parallel Mul disagrees with serial")
 	}

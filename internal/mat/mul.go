@@ -4,11 +4,39 @@ import (
 	"fmt"
 )
 
+// Multiply dispatch. Every product family has three tiers:
+//
+//  1. direct register-tiled kernels (kernel.go) for the small and
+//     skinny shapes of the Bellamy MLP hot path;
+//  2. the packed, cache-blocked GEMM path (pack.go + microTile) once a
+//     product is large enough in every dimension to amortize packing;
+//  3. output-row-panel parallelism across the shared worker pool
+//     (pool.go) once the multiply-add count clears parallelThreshold.
+//
+// The blocked tiers change floating-point summation order relative to
+// the reference kernels in mul_ref.go, so equivalence is specified to
+// epsilon tolerance (see mul_equiv_test.go); the reference kernels
+// remain the bit-exact oracle.
+
 // parallelThreshold is the minimum number of scalar multiply-adds in a
-// product before MulTo fans the row loop out across the shared worker
-// pool. Small products (the common case for Bellamy's 2-layer MLPs) stay
-// serial to avoid scheduling overhead.
+// product before the kernels fan output-row panels across the shared
+// worker pool. Small products (the common case for Bellamy's 2-layer
+// MLPs) stay serial to avoid scheduling overhead.
 const parallelThreshold = 64 * 1024
+
+// rowPanel is the output-row panel size of the direct (unpacked)
+// parallel kernels; the packed path uses blockMC-row panels so one
+// claim amortizes one A-block pack.
+const rowPanel = 8
+
+// usePacked reports whether a product of the given dimensions should
+// take the packed blocked path: once the B operand outgrows L2, the
+// direct kernels stream it from shared cache for every output-row pass
+// and packing starts paying for itself. Below that, the direct kernels
+// win — packing traffic is pure overhead on an L2-resident B.
+func usePacked(m, k, n int) bool {
+	return k*n >= packedBFootprint && m >= kernelMR && k >= packMinDim && n >= packMinDim
+}
 
 // Mul returns the matrix product a*b.
 func Mul(a, b *Dense) *Dense {
@@ -25,31 +53,75 @@ func MulTo(dst, a, b *Dense) {
 	}
 	checkDst("MulTo", dst, a.Rows, b.Cols)
 	dst.Zero()
-	work := a.Rows * a.Cols * b.Cols
-	if work >= parallelThreshold && a.Rows > 1 {
-		mulParallel(a, b, dst)
-	} else {
-		mulRange(a, b, dst, 0, a.Rows)
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || k == 0 || n == 0 {
+		return
 	}
+	if usePacked(m, k, n) {
+		mulPacked(dst, a, b)
+		return
+	}
+	nPanels := (m + rowPanel - 1) / rowPanel
+	if m*k*n >= parallelThreshold && nPanels > 1 {
+		j := newJob(opMulRows, rowPanel, nPanels)
+		j.dst, j.a, j.b = dst, a, b
+		runParallel(j)
+		return
+	}
+	mulRows(dst, a, b, 0, m)
 }
 
-// mulRange accumulates rows [lo,hi) of a*b into out using an ikj loop
-// order that streams rows of b for cache friendliness. out rows must be
-// zeroed beforehand.
-func mulRange(a, b, out *Dense, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ar := a.Row(i)
-		or := out.Row(i)
-		for k, av := range ar {
-			if av == 0 {
+// mulPacked is the blocked GEMM driver: B is packed once per
+// (k-block, column-block) and shared read-only, then output-row panels
+// of blockMC rows are either computed inline or fanned across the
+// worker pool, each worker packing its own A block.
+func mulPacked(dst, a, b *Dense) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	kc0 := min(k, blockKC)
+	nc0 := min(n, blockNC)
+	sb := getScratchB(packedPanels(nc0, kernelNR, kc0))
+	for pc := 0; pc < k; pc += blockKC {
+		kc := min(blockKC, k-pc)
+		for jc := 0; jc < n; jc += blockNC {
+			nc := min(blockNC, n-jc)
+			bp := sb.b.Data[:packedPanels(nc, kernelNR, kc)]
+			packB(bp, b, pc, kc, jc, nc)
+			nPanels := (m + blockMC - 1) / blockMC
+			if nPanels > 1 && m*kc*nc >= parallelThreshold {
+				j := newJob(opMulPacked, blockMC, nPanels)
+				j.dst, j.a, j.bp = dst, a, bp
+				j.pc, j.kc, j.jc, j.nc = pc, kc, jc, nc
+				runParallel(j)
 				continue
 			}
-			br := b.Row(k)
-			for j, bv := range br {
-				or[j] += av * bv
+			mulPackedPanels(dst, a, bp, pc, kc, jc, nc, 0, nPanels)
+		}
+	}
+	putScratch(sb)
+}
+
+// mulPackedPanels computes output-row panels [p0,p1) of the current
+// cache block: pack the A block, then run the 4x4 micro-kernel over
+// every (column panel, row tile) pair, with the column panel of B held
+// hot in L1 across the row tiles.
+func mulPackedPanels(dst, a *Dense, bp []float64, pc, kc, jc, nc, p0, p1 int) {
+	m := a.Rows
+	sa := getScratchA(packedPanels(blockMC, kernelMR, kc))
+	ap := sa.a.Data
+	for p := p0; p < p1; p++ {
+		i0 := p * blockMC
+		mc := min(blockMC, m-i0)
+		packA(ap, a, i0, mc, pc, kc)
+		for jr := 0; jr < nc; jr += kernelNR {
+			nr := min(kernelNR, nc-jr)
+			bpp := bp[(jr/kernelNR)*kc*kernelNR:]
+			for ir := 0; ir < mc; ir += kernelMR {
+				mr := min(kernelMR, mc-ir)
+				microTile(dst, i0+ir, jc+jr, mr, nr, ap[(ir/kernelMR)*kc*kernelMR:], bpp, kc)
 			}
 		}
 	}
+	putScratch(sa)
 }
 
 // MulATB returns aᵀ*b without materializing the transpose.
@@ -66,27 +138,28 @@ func MulATBTo(dst, a, b *Dense) {
 	MulATBAcc(dst, a, b)
 }
 
-// MulATBAcc accumulates dst += aᵀ*b without materializing the transpose.
-// It is the gradient-accumulation kernel: dW += xᵀ*grad writes straight
-// into the parameter gradient.
+// MulATBAcc accumulates dst += aᵀ*b without materializing the
+// transpose. It is the gradient-accumulation kernel: dW += xᵀ*grad
+// writes straight into the parameter gradient. Large products fan
+// output-row panels (columns of a) across the worker pool; every
+// worker's accesses stay row-contiguous, re-reading b from shared
+// cache while owning its dst rows exclusively.
 func MulATBAcc(dst, a, b *Dense) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("mat: MulATB row mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	checkDst("MulATBAcc", dst, a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		ar := a.Row(k)
-		br := b.Row(k)
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
-			or := dst.Row(i)
-			for j, bv := range br {
-				or[j] += av * bv
-			}
-		}
+	if a.Rows == 0 || a.Cols == 0 || b.Cols == 0 {
+		return
 	}
+	nPanels := (a.Cols + rowPanel - 1) / rowPanel
+	if a.Rows*a.Cols*b.Cols >= parallelThreshold && nPanels > 1 {
+		j := newJob(opMulATBCols, rowPanel, nPanels)
+		j.dst, j.a, j.b = dst, a, b
+		runParallel(j)
+		return
+	}
+	mulATBAccRange(dst, a, b, 0, a.Cols)
 }
 
 // MulABT returns a*bᵀ without materializing the transpose.
@@ -102,20 +175,21 @@ func MulABTTo(dst, a, b *Dense) {
 		panic(fmt.Sprintf("mat: MulABT col mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	checkDst("MulABTTo", dst, a.Rows, b.Rows)
-	bc := b.Cols
-	bd := b.Data
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Row(i)
-		or := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			br := bd[j*bc : (j+1)*bc]
-			var s float64
-			for k, av := range ar {
-				s += av * br[k]
-			}
-			or[j] = s
-		}
+	if a.Rows == 0 || b.Rows == 0 {
+		return
 	}
+	if a.Cols == 0 {
+		dst.Zero()
+		return
+	}
+	nPanels := (a.Rows + rowPanel - 1) / rowPanel
+	if a.Rows*a.Cols*b.Rows >= parallelThreshold && nPanels > 1 {
+		j := newJob(opMulABTRows, rowPanel, nPanels)
+		j.dst, j.a, j.b = dst, a, b
+		runParallel(j)
+		return
+	}
+	mulABTRows(dst, a, b, 0, a.Rows)
 }
 
 // MulVec returns the matrix-vector product a*x as a new slice.
@@ -125,7 +199,10 @@ func MulVec(a *Dense, x []float64) []float64 {
 	return out
 }
 
-// MulVecTo computes dst = a*x, fully overwriting dst.
+// MulVecTo computes dst = a*x, fully overwriting dst. It rides the same
+// register-tiled panel kernels as the matrix products — including the
+// worker-pool fan-out over output-row panels for large matrices — so
+// single-row inference is served by the tiled path too.
 func MulVecTo(dst []float64, a *Dense, x []float64) {
 	if a.Cols != len(x) {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
@@ -133,9 +210,21 @@ func MulVecTo(dst []float64, a *Dense, x []float64) {
 	if len(dst) != a.Rows {
 		panic(fmt.Sprintf("mat: MulVecTo dst len %d != rows %d", len(dst), a.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
-		dst[i] = Dot(a.Row(i), x)
+	if a.Rows == 0 {
+		return
 	}
+	if a.Cols == 0 {
+		clear(dst)
+		return
+	}
+	nPanels := (a.Rows + rowPanel - 1) / rowPanel
+	if a.Rows*a.Cols >= parallelThreshold && nPanels > 1 {
+		j := newJob(opMulVecRows, rowPanel, nPanels)
+		j.a, j.x, j.y = a, x, dst
+		runParallel(j)
+		return
+	}
+	mulVecRows(dst, a, x, 0, a.Rows)
 }
 
 func checkDst(op string, dst *Dense, rows, cols int) {

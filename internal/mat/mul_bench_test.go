@@ -38,6 +38,48 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkMulSizes sweeps square products from below the register-tile
+// width to far past the cache-blocking thresholds, so the crossover
+// points of the direct, packed, and parallel paths stay visible. It is
+// the acceptance benchmark of the blocked GEMM engine: the 256^3 case
+// beats the unblocked scalar kernel by >= 2x under GOAMD64=v3 (the
+// documented performance build, where the FMA kernel family is
+// branch-free; ~1.9x on the default ABI) — see BENCH_train.json for
+// both recordings.
+func BenchmarkMulSizes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{16, 32, 64, 128, 256, 512, 1024} {
+		a := randDense(n, n, rng)
+		c := randDense(n, n, rng)
+		dst := NewDense(n, n)
+		b.Run(fmt.Sprintf("%dx%dx%d", n, n, n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n * n * n))
+			for i := 0; i < b.N; i++ {
+				MulTo(dst, a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkMulVecSizes covers the matrix-vector panel kernel on both
+// sides of its worker-pool threshold.
+func BenchmarkMulVecSizes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{64, 256, 1024} {
+		a := randDense(n, n, rng)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		dst := make([]float64, n)
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MulVecTo(dst, a, x)
+			}
+		})
+	}
+}
+
 // BenchmarkMatMulTransposed covers the backward-pass products.
 func BenchmarkMatMulTransposed(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

@@ -1,0 +1,322 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+)
+
+// Kernel equivalence suite: the blocked/tiled production kernels are
+// validated against the mul_ref.go oracle to epsilon tolerance, over
+// random shapes including ragged edges (dims drawn from 1..67, so every
+// partial-tile and partial-panel combination of the 4x4 micro-kernel is
+// exercised) and over shapes large enough to force the worker-pool
+// parallel path and the packed blocked path. The reference kernels
+// themselves are pinned bit-identically below.
+
+// tolClose reports whether got is within summation-reordering distance
+// of want for a reduction of depth k: the bound scales with the
+// reduction length and the magnitudes involved.
+func tolClose(got, want float64, k int) bool {
+	d := math.Abs(got - want)
+	return d <= 1e-11*float64(k+1)*(1+math.Abs(want))
+}
+
+func equalishTol(t *testing.T, name string, got, want *Dense, k int) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if !tolClose(v, want.Data[i], k) {
+			t.Fatalf("%s: element %d = %.17g, want %.17g (reduction depth %d)", name, i, v, want.Data[i], k)
+		}
+	}
+}
+
+// raggedDim draws a dimension from 1..67, biased toward the 4x4 tile
+// edges.
+func raggedDim(rng *rand.Rand) int {
+	if rng.Intn(3) == 0 {
+		return 1 + rng.Intn(7) // tiny: below one tile
+	}
+	return 1 + rng.Intn(67)
+}
+
+func TestQuickMulToMatchesRef(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := raggedDim(rng), raggedDim(rng), raggedDim(rng)
+		a := randomDense(rng, m, k)
+		b := randomDense(rng, k, n)
+		want := NewDense(m, n)
+		refMulTo(want, a, b)
+		dst := garbageDense(m, n)
+		MulTo(dst, a, b)
+		alloc := Mul(a, b)
+		for i := range want.Data {
+			if !tolClose(dst.Data[i], want.Data[i], k) || !tolClose(alloc.Data[i], want.Data[i], k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulATBMatchesRef(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, ca, cb := raggedDim(rng), raggedDim(rng), raggedDim(rng)
+		a := randomDense(rng, r, ca)
+		b := randomDense(rng, r, cb)
+		want := NewDense(ca, cb)
+		refMulATBTo(want, a, b)
+		dst := garbageDense(ca, cb)
+		MulATBTo(dst, a, b)
+		alloc := MulATB(a, b)
+		for i := range want.Data {
+			if !tolClose(dst.Data[i], want.Data[i], r) || !tolClose(alloc.Data[i], want.Data[i], r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulABTMatchesRef(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ra, rb, c := raggedDim(rng), raggedDim(rng), raggedDim(rng)
+		a := randomDense(rng, ra, c)
+		b := randomDense(rng, rb, c)
+		want := garbageDense(ra, rb)
+		refMulABTTo(want, a, b)
+		dst := garbageDense(ra, rb)
+		MulABTTo(dst, a, b)
+		alloc := MulABT(a, b)
+		for i := range want.Data {
+			if !tolClose(dst.Data[i], want.Data[i], c) || !tolClose(alloc.Data[i], want.Data[i], c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulVecMatchesRef(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k := raggedDim(rng), raggedDim(rng)
+		a := randomDense(rng, m, k)
+		x := make([]float64, k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, m)
+		refMulVecTo(want, a, x)
+		dst := make([]float64, m)
+		MulVecTo(dst, a, x)
+		alloc := MulVec(a, x)
+		for i := range want {
+			if !tolClose(dst[i], want[i], k) || !tolClose(alloc[i], want[i], k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLargePathsMatchRef forces the worker-pool parallel path and the
+// packed blocked path (every dimension past packMinDim and total work
+// past both thresholds), including ragged edges on each dimension.
+func TestLargePathsMatchRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ m, k, n int }{
+		{128, 128, 128}, // packed, aligned tiles
+		{131, 67, 97},   // parallel direct path, ragged everywhere
+		{67, 131, 70},   // packed with ragged edges
+		{1, 300, 300},   // single-row inference shape, tiled row kernel
+		{300, 300, 1},   // column output
+	}
+	for _, s := range shapes {
+		name := fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n)
+		a := randomDense(rng, s.m, s.k)
+		b := randomDense(rng, s.k, s.n)
+
+		want := NewDense(s.m, s.n)
+		refMulTo(want, a, b)
+		got := garbageDense(s.m, s.n)
+		MulTo(got, a, b)
+		equalishTol(t, "MulTo/"+name, got, want, s.k)
+
+		at := a.T()
+		wantATB := NewDense(s.m, s.n)
+		refMulATBTo(wantATB, at, b)
+		gotATB := garbageDense(s.m, s.n)
+		MulATBTo(gotATB, at, b)
+		equalishTol(t, "MulATBTo/"+name, gotATB, wantATB, s.k)
+
+		bt := b.T()
+		wantABT := garbageDense(s.m, s.n)
+		refMulABTTo(wantABT, a, bt)
+		gotABT := garbageDense(s.m, s.n)
+		MulABTTo(gotABT, a, bt)
+		equalishTol(t, "MulABTTo/"+name, gotABT, wantABT, s.k)
+	}
+
+	// MulVecTo across its parallel threshold (rows*cols >= 64Ki).
+	a := randomDense(rng, 512, 300)
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 512)
+	refMulVecTo(want, a, x)
+	got := make([]float64, 512)
+	MulVecTo(got, a, x)
+	for i := range want {
+		if !tolClose(got[i], want[i], 300) {
+			t.Fatalf("MulVecTo parallel: row %d = %.17g, want %.17g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBothKernelFamiliesMatchRef pins the family the current
+// build/CPU did NOT select: fmaKernels is flipped so both the
+// fused-multiply-add and the plain kernels — including both packed
+// micro-tile variants, driven through mulPacked directly — are
+// validated against the oracle regardless of where the tests run.
+func TestBothKernelFamiliesMatchRef(t *testing.T) {
+	old := fmaKernels
+	defer func() { fmaKernels = old }()
+	rng := rand.New(rand.NewSource(13))
+	for _, fma := range []bool{false, true} {
+		fmaKernels = fma
+		name := fmt.Sprintf("fma=%v", fma)
+		for _, s := range []struct{ m, k, n int }{{37, 23, 19}, {70, 67, 66}} {
+			a := randomDense(rng, s.m, s.k)
+			b := randomDense(rng, s.k, s.n)
+
+			want := NewDense(s.m, s.n)
+			refMulTo(want, a, b)
+			got := garbageDense(s.m, s.n)
+			got.Zero()
+			mulPacked(got, a, b) // packed path, forced regardless of size gates
+			equalishTol(t, "mulPacked/"+name, got, want, s.k)
+
+			got2 := NewDense(s.m, s.n)
+			mulRows(got2, a, b, 0, s.m)
+			equalishTol(t, "mulRows/"+name, got2, want, s.k)
+
+			wantATB := NewDense(s.m, s.n)
+			refMulATBTo(wantATB, a.T(), b)
+			gotATB := NewDense(s.m, s.n)
+			mulATBAccRange(gotATB, a.T(), b, 0, s.m)
+			equalishTol(t, "mulATBAcc/"+name, gotATB, wantATB, s.k)
+
+			wantABT := garbageDense(s.m, s.n)
+			refMulABTTo(wantABT, a, b.T())
+			gotABT := garbageDense(s.m, s.n)
+			mulABTRows(gotABT, a, b.T(), 0, s.m)
+			equalishTol(t, "mulABT/"+name, gotABT, wantABT, s.k)
+
+			x := b.Col(0)
+			wantV := make([]float64, s.m)
+			refMulVecTo(wantV, a, x[:s.k])
+			gotV := make([]float64, s.m)
+			mulVecRows(gotV, a, x[:s.k], 0, s.m)
+			for i := range wantV {
+				if !tolClose(gotV[i], wantV[i], s.k) {
+					t.Fatalf("mulVec/%s: row %d = %.17g, want %.17g", name, i, gotV[i], wantV[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRefKernelsBitIdentical pins the oracle itself: every reference
+// kernel must match an At()-indexed textbook triple loop bit for bit,
+// and the transposed references must match refMulTo on explicitly
+// transposed operands bit for bit (their summation orders coincide by
+// construction).
+func TestRefKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomDense(rng, 13, 9)
+	b := randomDense(rng, 9, 11)
+
+	want := NewDense(13, 11)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			for j := 0; j < b.Cols; j++ {
+				want.Data[i*want.Cols+j] += a.At(i, k) * b.At(k, j)
+			}
+		}
+	}
+	got := garbageDense(13, 11)
+	refMulTo(got, a, b)
+	bitIdentical(t, "refMulTo", got, want)
+
+	gotATB := garbageDense(13, 11)
+	refMulATBTo(gotATB, a.T(), b)
+	bitIdentical(t, "refMulATBTo", gotATB, want)
+
+	gotABT := garbageDense(13, 11)
+	refMulABTTo(gotABT, a, b.T())
+	bitIdentical(t, "refMulABTTo", gotABT, want)
+
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	wantV := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for k := 0; k < a.Cols; k++ {
+			s += a.At(i, k) * x[k]
+		}
+		wantV[i] = s
+	}
+	gotV := make([]float64, a.Rows)
+	refMulVecTo(gotV, a, x)
+	for i := range wantV {
+		if gotV[i] != wantV[i] {
+			t.Fatalf("refMulVecTo[%d] = %v, want bit-identical %v", i, gotV[i], wantV[i])
+		}
+	}
+}
+
+// TestMulNestedParallelism drives the shared worker pool from many
+// concurrent callers — the hyperopt-trials-times-matmul shape that used
+// to oversubscribe cores — and checks every product against the oracle.
+func TestMulNestedParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomDense(rng, 96, 48)
+	b := randomDense(rng, 48, 32)
+	want := NewDense(96, 32)
+	refMulTo(want, a, b)
+	parallel.ForEach(16, 8, func(i int) {
+		got := Mul(a, b)
+		for j := range want.Data {
+			if !tolClose(got.Data[j], want.Data[j], 48) {
+				t.Errorf("concurrent Mul %d diverged at %d", i, j)
+				return
+			}
+		}
+	})
+}

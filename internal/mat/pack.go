@@ -1,0 +1,143 @@
+package mat
+
+import "sync"
+
+// Packing layer of the blocked GEMM path. Before the micro-kernel runs,
+// the A and B operands of the current cache block are copied into
+// contiguous panel-major buffers:
+//
+//	packA: an mc x kc block of A becomes ceil(mc/MR) panels, each laid
+//	       out k-major as kc groups of MR row values;
+//	packB: a kc x nc block of B becomes ceil(nc/NR) panels, each laid
+//	       out k-major as kc groups of NR column values.
+//
+// Ragged edges are zero-padded to full panel width, so microTile never
+// branches on partial tiles. The copies cost O(mc*kc + kc*nc) against
+// the O(mc*kc*nc) multiply and buy strictly sequential loads inside the
+// micro-kernel.
+//
+// Pack buffers are recycled through a sync.Pool rather than a
+// *Workspace: kernels can run from many goroutines at once (hyperopt
+// trials, serve fan-out, the worker pool itself), and a Workspace is
+// single-owner by design. Buffer growth uses the same Resized primitive
+// the workspaces are built on, so steady-state packing allocates
+// nothing.
+const (
+	// kernelMR x kernelNR is the register tile of the micro-kernel.
+	kernelMR = 4
+	kernelNR = 4
+
+	// blockKC is the reduction depth per packed panel: one A panel
+	// (kernelMR*blockKC floats = 8 KiB) plus the B panel it multiplies
+	// (kernelNR*blockKC floats = 8 KiB) stay resident in a 32 KiB L1d.
+	blockKC = 256
+
+	// blockMC rows of packed A per block: blockMC*blockKC floats
+	// = 256 KiB, sized for L2.
+	blockMC = 128
+
+	// blockNC columns of packed B per block: blockKC*blockNC floats
+	// = 1 MiB, sized for L3.
+	blockNC = 512
+
+	// packedBFootprint is the element count of the B operand (k*n)
+	// beyond which B no longer fits a 1 MiB L2 and the packed path
+	// takes over from the direct kernels.
+	packedBFootprint = 1 << 17
+
+	// packMinDim gates the packed path on shape: skinny products
+	// (the Bellamy MLP layers) amortize packing poorly even when the
+	// total footprint is large.
+	packMinDim = 16
+)
+
+// gemmScratch holds one goroutine's pack buffers. The a buffer holds a
+// packed A block (per worker); the b buffer holds a packed B block
+// (packed once per cache block, shared read-only by all workers).
+type gemmScratch struct {
+	a, b *Dense
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(gemmScratch) }}
+
+// getScratchA returns a scratch whose a buffer holds at least n floats.
+func getScratchA(n int) *gemmScratch {
+	s := scratchPool.Get().(*gemmScratch)
+	s.a = Resized(s.a, 1, n)
+	return s
+}
+
+// getScratchB returns a scratch whose b buffer holds at least n floats.
+func getScratchB(n int) *gemmScratch {
+	s := scratchPool.Get().(*gemmScratch)
+	s.b = Resized(s.b, 1, n)
+	return s
+}
+
+func putScratch(s *gemmScratch) { scratchPool.Put(s) }
+
+// packedPanels returns the buffer length for packing dim values at
+// panel width w: dim rounded up to a multiple of w, times depth.
+func packedPanels(dim, w, depth int) int {
+	return ((dim + w - 1) / w) * w * depth
+}
+
+// zeroPad supplies zero rows for edge panels; blockKC bounds every kc.
+var zeroPad [blockKC]float64
+
+// packA copies the mc x kc block of a at (i0, p0) into dst as
+// kernelMR-row panels, k-major within each panel, zero-padding short
+// panels.
+func packA(dst []float64, a *Dense, i0, mc, p0, kc int) {
+	for ip := 0; ip < mc; ip += kernelMR {
+		r0 := a.Row(i0 + ip)[p0 : p0+kc]
+		r1, r2, r3 := zeroPad[:kc], zeroPad[:kc], zeroPad[:kc]
+		if ip+1 < mc {
+			r1 = a.Row(i0 + ip + 1)[p0 : p0+kc]
+		}
+		if ip+2 < mc {
+			r2 = a.Row(i0 + ip + 2)[p0 : p0+kc]
+		}
+		if ip+3 < mc {
+			r3 = a.Row(i0 + ip + 3)[p0 : p0+kc]
+		}
+		for k := 0; k < kc; k++ {
+			dst[0] = r0[k]
+			dst[1] = r1[k]
+			dst[2] = r2[k]
+			dst[3] = r3[k]
+			dst = dst[4:]
+		}
+	}
+}
+
+// packB copies the kc x nc block of b at (p0, j0) into dst as
+// kernelNR-column panels, k-major within each panel, zero-padding short
+// panels.
+func packB(dst []float64, b *Dense, p0, kc, j0, nc int) {
+	for jp := 0; jp < nc; jp += kernelNR {
+		w := nc - jp
+		if w >= kernelNR {
+			for k := 0; k < kc; k++ {
+				row := b.Row(p0 + k)[j0+jp : j0+jp+4 : j0+jp+4]
+				dst[0] = row[0]
+				dst[1] = row[1]
+				dst[2] = row[2]
+				dst[3] = row[3]
+				dst = dst[4:]
+			}
+			continue
+		}
+		for k := 0; k < kc; k++ {
+			row := b.Row(p0 + k)[j0+jp : j0+nc]
+			for c := 0; c < kernelNR; c++ {
+				if c < w {
+					dst[c] = row[c]
+				} else {
+					dst[c] = 0
+				}
+			}
+			dst = dst[4:]
+		}
+	}
+}

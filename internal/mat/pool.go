@@ -6,47 +6,100 @@ import (
 	"sync/atomic"
 )
 
-// The shared matmul worker pool. Large multiplications split their row
-// range into chunks that workers claim with an atomic counter; the
-// calling goroutine always participates, so a saturated pool degrades to
-// serial execution instead of blocking. Because the pool is bounded at
-// GOMAXPROCS-1 resident workers for the whole process, nested
+// The shared kernel worker pool. Large products split their output-row
+// range into panels that workers claim with an atomic counter; the
+// calling goroutine always participates, so a saturated pool degrades
+// to serial execution instead of blocking. Because the pool is bounded
+// at GOMAXPROCS-1 resident workers for the whole process, nested
 // parallelism (e.g. hyperopt trials fanned across cores, each running
 // matmuls) cannot oversubscribe the machine the way per-call goroutine
 // spawning did.
+//
+// Unlike the raw-row fan-out it replaces, the unit of work is an
+// output-row panel: a block of rows sized so one claim amortizes the
+// claim's atomic traffic and, on the packed path, one A-block pack.
+// Jobs carry an operation code plus operands instead of a closure so
+// steady-state parallel products allocate nothing.
 
-// mulJob is one parallel multiplication: workers claim row chunks via the
-// atomic next counter. Jobs are pooled so steady-state parallel matmuls
-// allocate nothing.
-type mulJob struct {
-	a, b, out *Dense
-	chunk     int
+// panelOp selects the kernel a panelJob runs per claimed panel range.
+type panelOp uint8
+
+const (
+	opMulRows panelOp = iota // dst rows = a*b rows, direct kernel
+	opMulPacked              // dst row-panels of blockMC, packed kernel
+	opMulATBCols             // dst rows = (aᵀb) output rows (a columns)
+	opMulABTRows             // dst rows = a*bᵀ rows
+	opMulVecRows             // y rows = a*x rows
+)
+
+// panelJob is one parallel product: workers claim panel chunks via the
+// atomic next counter. Jobs are pooled so steady-state parallel
+// products allocate nothing.
+type panelJob struct {
+	op        panelOp
+	a, b, dst *Dense
+	x, y      []float64 // MulVec operands
+	bp        []float64 // shared packed B block (opMulPacked)
+	pc, kc    int       // packed k-block origin/size
+	jc, nc    int       // packed column-block origin/size
+	panel     int       // rows per panel
+	nPanels   int
+	chunk     int // panels per claim
 	next      atomic.Int64
 	wg        sync.WaitGroup
 }
 
-func (j *mulJob) run() {
+func (j *panelJob) run() {
 	defer j.wg.Done()
-	rows := j.a.Rows
-	nChunks := (rows + j.chunk - 1) / j.chunk
 	for {
 		t := int(j.next.Add(1)) - 1
-		if t >= nChunks {
+		if t*j.chunk >= j.nPanels {
 			return
 		}
-		lo := t * j.chunk
-		hi := lo + j.chunk
-		if hi > rows {
-			hi = rows
+		p0 := t * j.chunk
+		p1 := p0 + j.chunk
+		if p1 > j.nPanels {
+			p1 = j.nPanels
 		}
-		mulRange(j.a, j.b, j.out, lo, hi)
+		j.runPanels(p0, p1)
+	}
+}
+
+// runPanels executes panels [p0,p1). Row ranges are panel*panelSize,
+// clamped to the true row count of the output dimension.
+func (j *panelJob) runPanels(p0, p1 int) {
+	lo := p0 * j.panel
+	hi := p1 * j.panel
+	switch j.op {
+	case opMulRows:
+		if hi > j.a.Rows {
+			hi = j.a.Rows
+		}
+		mulRows(j.dst, j.a, j.b, lo, hi)
+	case opMulPacked:
+		mulPackedPanels(j.dst, j.a, j.bp, j.pc, j.kc, j.jc, j.nc, p0, p1)
+	case opMulATBCols:
+		if hi > j.a.Cols {
+			hi = j.a.Cols
+		}
+		mulATBAccRange(j.dst, j.a, j.b, lo, hi)
+	case opMulABTRows:
+		if hi > j.a.Rows {
+			hi = j.a.Rows
+		}
+		mulABTRows(j.dst, j.a, j.b, lo, hi)
+	case opMulVecRows:
+		if hi > j.a.Rows {
+			hi = j.a.Rows
+		}
+		mulVecRows(j.y, j.a, j.x, lo, hi)
 	}
 }
 
 var (
 	poolOnce sync.Once
-	poolCh   chan *mulJob
-	jobPool  = sync.Pool{New: func() any { return new(mulJob) }}
+	poolCh   chan *panelJob
+	jobPool  = sync.Pool{New: func() any { return new(panelJob) }}
 )
 
 func startPool() {
@@ -54,7 +107,7 @@ func startPool() {
 	if n < 1 {
 		n = 1
 	}
-	poolCh = make(chan *mulJob, n)
+	poolCh = make(chan *panelJob, n)
 	for i := 0; i < n; i++ {
 		go func() {
 			for j := range poolCh {
@@ -64,18 +117,17 @@ func startPool() {
 	}
 }
 
-// mulParallel computes out = a*b (out already zeroed) by fanning row
-// chunks across the shared worker pool. Submission is non-blocking: when
-// the pool is busy the caller simply computes more chunks itself.
-func mulParallel(a, b, out *Dense) {
+// runParallel fans j's panels across the shared worker pool. Submission
+// is non-blocking: when the pool is busy the caller simply computes
+// more panels itself. The job's operands are cleared and the job
+// recycled before returning.
+func runParallel(j *panelJob) {
 	poolOnce.Do(startPool)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
+	if workers > j.nPanels {
+		workers = j.nPanels
 	}
-	j := jobPool.Get().(*mulJob)
-	j.a, j.b, j.out = a, b, out
-	j.chunk = (a.Rows + workers - 1) / workers
+	j.chunk = (j.nPanels + workers - 1) / workers
 	j.next.Store(0)
 submit:
 	for i := 0; i < workers-1; i++ {
@@ -90,6 +142,16 @@ submit:
 	j.wg.Add(1)
 	j.run()
 	j.wg.Wait()
-	j.a, j.b, j.out = nil, nil, nil
+	j.a, j.b, j.dst = nil, nil, nil
+	j.x, j.y, j.bp = nil, nil, nil
 	jobPool.Put(j)
+}
+
+// newJob draws a pooled job and fills the common fields.
+func newJob(op panelOp, panel, nPanels int) *panelJob {
+	j := jobPool.Get().(*panelJob)
+	j.op = op
+	j.panel = panel
+	j.nPanels = nPanels
+	return j
 }

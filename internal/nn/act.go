@@ -183,6 +183,205 @@ func (l *ActLayer) Backward(ws *mat.Workspace, grad *mat.Dense) *mat.Dense {
 // Params implements Layer. Activations are parameter-free.
 func (l *ActLayer) Params() []*Param { return nil }
 
+// outputDeriv marks activations whose derivative can be computed from
+// the activation output instead of the pre-activation input. For
+// these, the fused layers cache the (in-place) output only: the
+// forward pass saves a workspace buffer and a write stream, and the
+// backward pass saves the transcendental re-evaluation the
+// input-based Derivative would need (math.Exp for SELU, math.Tanh for
+// Tanh — together a double-digit share of a training step).
+type outputDeriv interface {
+	// DerivFromOutput returns d act/d x given y = act(x).
+	DerivFromOutput(y float64) float64
+}
+
+// DerivFromOutput implements outputDeriv: for y = selu(x),
+// d/dx = lambda when x > 0 (iff y > 0), else lambda*alpha*e^x = y + lambda*alpha.
+func (SELU) DerivFromOutput(y float64) float64 {
+	if y > 0 {
+		return SELULambda
+	}
+	return y - alphaPrime
+}
+
+// DerivFromOutput implements outputDeriv: d tanh/dx = 1 - tanh(x)^2.
+func (Tanh) DerivFromOutput(y float64) float64 { return 1 - y*y }
+
+// DerivFromOutput implements outputDeriv: relu passes gradient iff the
+// output is positive.
+func (ReLU) DerivFromOutput(y float64) float64 {
+	if y > 0 {
+		return 1
+	}
+	return 0
+}
+
+// fusedBiasActInPlace is the fused forward epilogue of a linear layer
+// for output-derivative activations: in one pass it adds the
+// (optional) bias row vector and applies the activation, overwriting
+// pre with the activated output. Fusing the passes — and needing no
+// separate pre-activation buffer — cuts the old
+// AddRowVecTo-then-ActLayer pipeline from three passes over two
+// buffers to one pass over one. The loops are specialized per concrete
+// activation so the per-element calls devirtualize and inline.
+func fusedBiasActInPlace(act Activation, pre *mat.Dense, bias []float64) {
+	if bias == nil {
+		switch a := act.(type) {
+		case SELU:
+			for i, v := range pre.Data {
+				pre.Data[i] = a.Apply(v)
+			}
+		case Tanh:
+			for i, v := range pre.Data {
+				pre.Data[i] = math.Tanh(v)
+			}
+		case ReLU:
+			for i, v := range pre.Data {
+				pre.Data[i] = a.Apply(v)
+			}
+		default:
+			// Any other outputDeriv activation: interface calls, still
+			// fused and in place.
+			for i, v := range pre.Data {
+				pre.Data[i] = act.Apply(v)
+			}
+		}
+		return
+	}
+	for r := 0; r < pre.Rows; r++ {
+		pr := pre.Row(r)
+		switch a := act.(type) {
+		case SELU:
+			for j, b := range bias {
+				pr[j] = a.Apply(pr[j] + b)
+			}
+		case Tanh:
+			for j, b := range bias {
+				pr[j] = math.Tanh(pr[j] + b)
+			}
+		case ReLU:
+			for j, b := range bias {
+				pr[j] = a.Apply(pr[j] + b)
+			}
+		default:
+			for j, b := range bias {
+				pr[j] = act.Apply(pr[j] + b)
+			}
+		}
+	}
+}
+
+// fusedActGradFromOut is the fused backward epilogue for
+// output-derivative activations: in one pass it computes
+// dpre = grad ⊙ act'(out) — with the derivative taken from the cached
+// output, avoiding any transcendental re-evaluation — and, when
+// biasGrad is non-nil, accumulates the bias gradient column sums in
+// the same sweep.
+func fusedActGradFromOut(act Activation, grad, out, dpre *mat.Dense, biasGrad []float64) {
+	od, _ := act.(outputDeriv) // non-nil on every path that routes here
+	if biasGrad == nil {
+		o := out.Data
+		switch a := act.(type) {
+		case SELU:
+			for i, g := range grad.Data {
+				dpre.Data[i] = g * a.DerivFromOutput(o[i])
+			}
+		case Tanh:
+			for i, g := range grad.Data {
+				dpre.Data[i] = g * a.DerivFromOutput(o[i])
+			}
+		case ReLU:
+			for i, g := range grad.Data {
+				dpre.Data[i] = g * a.DerivFromOutput(o[i])
+			}
+		default:
+			for i, g := range grad.Data {
+				dpre.Data[i] = g * od.DerivFromOutput(o[i])
+			}
+		}
+		return
+	}
+	for r := 0; r < grad.Rows; r++ {
+		gr := grad.Row(r)
+		or := out.Row(r)
+		dr := dpre.Row(r)
+		switch a := act.(type) {
+		case SELU:
+			for j, g := range gr {
+				d := g * a.DerivFromOutput(or[j])
+				dr[j] = d
+				biasGrad[j] += d
+			}
+		case Tanh:
+			for j, g := range gr {
+				d := g * a.DerivFromOutput(or[j])
+				dr[j] = d
+				biasGrad[j] += d
+			}
+		case ReLU:
+			for j, g := range gr {
+				d := g * a.DerivFromOutput(or[j])
+				dr[j] = d
+				biasGrad[j] += d
+			}
+		default:
+			for j, g := range gr {
+				d := g * od.DerivFromOutput(or[j])
+				dr[j] = d
+				biasGrad[j] += d
+			}
+		}
+	}
+}
+
+// fusedBiasAct is the fused forward epilogue for custom activations
+// without an output-form derivative: one pass adds the (optional) bias
+// row vector into pre — which thereby becomes the cached
+// pre-activation — and writes the activation into out. The built-in
+// activations never reach it; they take the devirtualized in-place
+// path above.
+func fusedBiasAct(act Activation, pre, out *mat.Dense, bias []float64) {
+	if bias == nil {
+		for i, v := range pre.Data {
+			out.Data[i] = act.Apply(v)
+		}
+		return
+	}
+	for r := 0; r < pre.Rows; r++ {
+		pr := pre.Row(r)
+		or := out.Row(r)
+		for j, b := range bias {
+			p := pr[j] + b
+			pr[j] = p
+			or[j] = act.Apply(p)
+		}
+	}
+}
+
+// fusedActGrad is the fused backward epilogue: in one pass it computes
+// dpre = grad ⊙ act'(pre) and, when biasGrad is non-nil, accumulates
+// the bias gradient column sums — folding what used to be an ActLayer
+// backward pass plus a separate ColSumsAcc sweep into a single loop.
+func fusedActGrad(act Activation, grad, pre, dpre *mat.Dense, biasGrad []float64) {
+	if biasGrad == nil {
+		in := pre.Data
+		for i, g := range grad.Data {
+			dpre.Data[i] = g * act.Derivative(in[i])
+		}
+		return
+	}
+	for r := 0; r < grad.Rows; r++ {
+		gr := grad.Row(r)
+		pr := pre.Row(r)
+		dr := dpre.Row(r)
+		for j, g := range gr {
+			d := g * act.Derivative(pr[j])
+			dr[j] = d
+			biasGrad[j] += d
+		}
+	}
+}
+
 // AlphaDropout implements the SELU-compatible dropout of Klambauer et al.:
 // dropped units are set to the negative saturation value alpha' and the
 // result is affinely transformed to preserve zero mean and unit variance.

@@ -86,6 +86,113 @@ func (l *Linear) Params() []*Param {
 	return []*Param{l.W, l.B}
 }
 
+// LinearAct is a fully connected layer with its activation fused in:
+// y = act(x*W + b). Compared to a Linear followed by an ActLayer it
+// runs the bias-add and the activation in a single pass over the
+// output (one read of the matmul result instead of three), computes
+// the backward activation-derivative ∘ upstream-gradient product and
+// the bias gradient in one sweep, and needs one less workspace buffer
+// per pass. Parameter names match the unfused pair (name.W / name.b),
+// so serialized states are interchangeable.
+type LinearAct struct {
+	In, Out int
+	W       *Param
+	B       *Param // nil when the layer has no bias
+	Act     Activation
+
+	input *mat.Dense
+	// cache holds what Backward needs: the activated output when Act
+	// has an output-form derivative (cacheIsOut), the pre-activation
+	// otherwise, nil for Identity (whose derivative is constant).
+	cache      *mat.Dense
+	cacheIsOut bool
+}
+
+// NewLinearAct constructs a fused linear+activation layer.
+func NewLinearAct(name string, in, out int, withBias bool, act Activation, scheme InitScheme, rng *rand.Rand) *LinearAct {
+	l := &LinearAct{In: in, Out: out, W: NewParam(name+".W", in, out), Act: act}
+	InitDense(l.W.Value, scheme, rng)
+	if withBias {
+		l.B = NewParam(name+".b", 1, out)
+	}
+	return l
+}
+
+// Forward implements Layer.
+func (l *LinearAct) Forward(ws *mat.Workspace, x *mat.Dense, train bool) *mat.Dense {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("nn: LinearAct %s input cols %d != in %d", l.W.Name, x.Cols, l.In))
+	}
+	l.input = x
+	pre := ws.GetRaw(x.Rows, l.Out)
+	mat.MulTo(pre, x, l.W.Value)
+	if _, id := l.Act.(Identity); id {
+		// Identity needs no cache and no second buffer: the bias (if
+		// any) is added in place and pre is the output.
+		l.cache = nil
+		if l.B != nil {
+			mat.AddRowVecTo(pre, pre, l.B.Value.Row(0))
+		}
+		return pre
+	}
+	var bias []float64
+	if l.B != nil {
+		bias = l.B.Value.Row(0)
+	}
+	if _, ok := l.Act.(outputDeriv); ok {
+		// Bias and activation applied in place, single pass, single
+		// buffer; the output doubles as the derivative cache.
+		fusedBiasActInPlace(l.Act, pre, bias)
+		l.cache = pre
+		l.cacheIsOut = true
+		return pre
+	}
+	out := ws.GetRaw(x.Rows, l.Out)
+	fusedBiasAct(l.Act, pre, out, bias) // pre becomes x*W+b in the same pass
+	l.cache = pre
+	l.cacheIsOut = false
+	return out
+}
+
+// Backward implements Layer.
+func (l *LinearAct) Backward(ws *mat.Workspace, grad *mat.Dense) *mat.Dense {
+	if l.input == nil {
+		panic("nn: LinearAct.Backward before Forward")
+	}
+	if grad.Cols != l.Out {
+		panic(fmt.Sprintf("nn: LinearAct %s grad cols %d != out %d", l.W.Name, grad.Cols, l.Out))
+	}
+	dpre := grad
+	if _, id := l.Act.(Identity); !id {
+		var biasGrad []float64
+		if l.B != nil {
+			biasGrad = l.B.Grad.Row(0)
+		}
+		dpre = ws.GetRaw(grad.Rows, l.Out)
+		if l.cacheIsOut {
+			fusedActGradFromOut(l.Act, grad, l.cache, dpre, biasGrad)
+		} else {
+			fusedActGrad(l.Act, grad, l.cache, dpre, biasGrad)
+		}
+	} else if l.B != nil {
+		mat.ColSumsAcc(l.B.Grad.Row(0), grad)
+	}
+	// dW += xᵀ * dpre, straight into the parameter gradient.
+	mat.MulATBAcc(l.W.Grad, l.input, dpre)
+	// dx = dpre * Wᵀ
+	dx := ws.GetRaw(grad.Rows, l.In)
+	mat.MulABTTo(dx, dpre, l.W.Value)
+	return dx
+}
+
+// Params implements Layer.
+func (l *LinearAct) Params() []*Param {
+	if l.B == nil {
+		return []*Param{l.W}
+	}
+	return []*Param{l.W, l.B}
+}
+
 // MLP is a sequential stack of layers. Every network in the Bellamy
 // architecture (f, g, h, z) is a two-layer MLP; the type supports any
 // depth for ablations.
@@ -136,18 +243,20 @@ type TwoLayerSpec struct {
 	Init      InitScheme
 }
 
-// Build constructs the MLP for the spec, drawing initial weights from rng.
+// Build constructs the MLP for the spec, drawing initial weights from
+// rng. Each linear layer is built fused with its activation
+// (LinearAct), so the per-layer epilogues run in single passes; weight
+// initialization order — and therefore every drawn weight — is
+// identical to the unfused Linear/ActLayer stack.
 func (s TwoLayerSpec) Build(rng *rand.Rand) *MLP {
 	layers := []Layer{
-		NewLinear(s.Name+".l1", s.In, s.Hidden, s.WithBias, s.Init, rng),
-		NewActLayer(s.ActHidden),
+		NewLinearAct(s.Name+".l1", s.In, s.Hidden, s.WithBias, s.ActHidden, s.Init, rng),
 	}
 	if s.Dropout > 0 {
 		layers = append(layers, NewAlphaDropout(s.Dropout, rng))
 	}
 	layers = append(layers,
-		NewLinear(s.Name+".l2", s.Hidden, s.Out, s.WithBias, s.Init, rng),
-		NewActLayer(s.ActOut),
+		NewLinearAct(s.Name+".l2", s.Hidden, s.Out, s.WithBias, s.ActOut, s.Init, rng),
 	)
 	return NewMLP(layers...)
 }

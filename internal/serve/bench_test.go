@@ -23,6 +23,31 @@ func benchRequests(n int) []Request {
 	return reqs
 }
 
+// TestWarmPredictZeroAlloc pins the warm hit path of the serve cache:
+// once a (model, query) result is memoized, answering it again builds
+// its fingerprint in a pooled buffer and resolves it with an
+// allocation-free map index — zero allocations per hit.
+func TestWarmPredictZeroAlloc(t *testing.T) {
+	cl := &countingLoader{t: t}
+	svc := NewService(cl.load, Options{})
+	key := ModelKey{Job: "sort", Env: "c3o"}
+	q := testQuery(4, 4096)
+	if r := svc.Predict(key, q); r.Err != nil {
+		t.Fatalf("cold Predict: %v", r.Err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		r := svc.Predict(key, q)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if !r.Cached {
+			t.Fatal("expected a cache hit")
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm Predict allocs/op = %v, want 0", allocs)
+	}
+}
+
 // TestWarmBatchSpeedup is the acceptance check of the serving layer: a
 // warm-cache PredictBatch over a 1k-request batch must be at least 5x
 // faster than serving the same requests cold, one Predict at a time.

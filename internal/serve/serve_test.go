@@ -428,10 +428,10 @@ func TestResultCacheBounded(t *testing.T) {
 		t.Fatalf("cache len = %d, want 8", n)
 	}
 	// Most recent entries survive.
-	if v, ok := c.get("99"); !ok || v != 99 {
+	if v, ok := c.get([]byte("99")); !ok || v != 99 {
 		t.Fatalf("get(99) = %v, %v", v, ok)
 	}
-	if _, ok := c.get("0"); ok {
+	if _, ok := c.get([]byte("0")); ok {
 		t.Fatal("oldest entry survived past capacity")
 	}
 }

@@ -87,21 +87,28 @@ func (s *Service) Predict(key ModelKey, q core.Query) Response {
 }
 
 func (s *Service) predictOne(key ModelKey, q core.Query) Response {
-	fp := fingerprint(key, q)
-	if v, ok := s.results.get(fp); ok {
+	bufp := fpPool.Get().(*[]byte)
+	fp := appendFingerprint((*bufp)[:0], key, q)
+	v, ok := s.results.get(fp)
+	if ok {
+		*bufp = fp
+		fpPool.Put(bufp)
 		s.resultHits.Add(1)
 		return Response{RuntimeSec: v, Cached: true}
 	}
+	fps := string(fp)
+	*bufp = fp
+	fpPool.Put(bufp)
 	s.resultMisses.Add(1)
 	sm, err := s.reg.Get(key)
 	if err != nil {
 		return Response{Err: err}
 	}
-	v, err := sm.Predict(q)
+	v, err = sm.Predict(q)
 	if err != nil {
 		return Response{Err: err}
 	}
-	s.results.put(fp, v)
+	s.results.put(fps, v)
 	return Response{RuntimeSec: v}
 }
 
@@ -126,18 +133,21 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 	byFP := map[string]*missGroup{}
 	groups := map[ModelKey][]*missGroup{}
 	var keys []ModelKey
+	bufp := fpPool.Get().(*[]byte)
+	buf := *bufp
 	for i, req := range reqs {
-		fp := fingerprint(req.Key, req.Query)
-		if v, ok := s.results.get(fp); ok {
+		buf = appendFingerprint(buf[:0], req.Key, req.Query)
+		if v, ok := s.results.get(buf); ok {
 			s.resultHits.Add(1)
 			out[i] = Response{RuntimeSec: v, Cached: true}
 			continue
 		}
 		s.resultMisses.Add(1)
-		if g, ok := byFP[fp]; ok {
+		if g, ok := byFP[string(buf)]; ok { // allocation-free map index
 			g.idxs = append(g.idxs, i)
 			continue
 		}
+		fp := string(buf)
 		g := &missGroup{fp: fp, query: req.Query, idxs: []int{i}}
 		byFP[fp] = g
 		if _, ok := groups[req.Key]; !ok {
@@ -145,6 +155,8 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 		}
 		groups[req.Key] = append(groups[req.Key], g)
 	}
+	*bufp = buf
+	fpPool.Put(bufp)
 
 	parallel.ForEach(len(keys), s.workers, func(k int) {
 		key := keys[k]
