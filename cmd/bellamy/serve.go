@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/lifecycle"
 	"repro/internal/serve"
 )
 
@@ -16,6 +17,12 @@ func runServe(args []string) error {
 	modelCap := fs.Int("model-cache", serve.DefaultModelCap, "max resident models")
 	resultCap := fs.Int("result-cache", serve.DefaultResultCap, "max memoized prediction results")
 	workers := fs.Int("workers", 0, "per-batch fan-out workers (0 = GOMAXPROCS)")
+	observe := fs.Bool("observe", false, "accept runtime observations on POST /v1/observe and fine-tune served models online")
+	ftInterval := fs.Duration("finetune-interval", lifecycle.DefaultInterval, "background fine-tune scan period")
+	ftMinSamples := fs.Int("finetune-min-samples", lifecycle.DefaultMinSamples, "fresh observations per model that trigger a fine-tune")
+	ftWorkers := fs.Int("finetune-workers", 0, "concurrent fine-tunes (0 = NumCPU/4)")
+	ftBuffer := fs.Int("observe-buffer", lifecycle.DefaultBufferCap, "per-model observation ring capacity")
+	ftMaxKeys := fs.Int("observe-max-models", lifecycle.DefaultMaxKeys, "max distinct models holding observation buffers")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -28,12 +35,31 @@ func runServe(args []string) error {
 		ResultCap: *resultCap,
 		Workers:   *workers,
 	})
+	if *observe {
+		ctl := lifecycle.New(svc.Registry(), lifecycle.Config{
+			MinSamples: *ftMinSamples,
+			Interval:   *ftInterval,
+			Workers:    *ftWorkers,
+			BufferCap:  *ftBuffer,
+			MaxKeys:    *ftMaxKeys,
+		})
+		ctl.OnSwap(func(key serve.ModelKey, version uint64) {
+			fmt.Printf("lifecycle: %s hot-swapped to v%d\n", key, version)
+		})
+		// AttachObserver also subscribes the result-cache invalidation,
+		// so memoized predictions never outlive a swapped model.
+		svc.AttachObserver(ctl)
+		ctl.Start()
+		defer ctl.Stop()
+		fmt.Printf("online fine-tuning on: every %v, %d fresh samples per model trigger a refresh\n",
+			*ftInterval, *ftMinSamples)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("serving models from %s on %s\n", *modelsDir, *addr)
-	fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, GET /v1/stats, GET /healthz")
+	fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/observe, GET /v1/stats, GET /healthz")
 	return srv.ListenAndServe()
 }

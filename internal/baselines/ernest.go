@@ -15,7 +15,7 @@ import (
 // with θ >= 0 estimated by non-negative least squares (paper Eq. 1).
 type Ernest struct {
 	// Theta holds the fitted weights after Fit.
-	Theta []float64
+	Theta  []float64
 	fitted bool
 }
 

@@ -1,0 +1,171 @@
+// Command benchgate is the CI benchmark-regression smoke gate: it
+// parses `go test -bench` output files, looks up each required
+// benchmark's recorded baseline in the repo's BENCH_*.json files, and
+// fails when a measured time exceeds baseline * max-ratio. It gates
+// against gross regressions (the default ratio is 2x) rather than
+// noise: CI runners are slower and noisier than the recording machine,
+// but a hot path that doubled is a bug regardless of hardware.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkPretrain$' -benchtime 100x ./internal/core/ > train.txt
+//	go test -run '^$' -bench 'BenchmarkPredictBatchWarm$' -benchtime 100x ./internal/serve/ > serve.txt
+//	go run ./internal/ci/benchgate -baseline BENCH_train.json -baseline BENCH_serve.json \
+//	    -require BenchmarkPretrain -require BenchmarkPredictBatchWarm train.txt serve.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchRecord is the shared shape of one benchmark entry in the
+// BENCH_*.json files; only the "after" column (the current recorded
+// state of the code) is used as the baseline.
+type benchRecord struct {
+	Name  string `json:"name"`
+	After struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"after"`
+}
+
+// benchFile covers both BENCH_train.json ("train" array) and
+// BENCH_serve.json ("serve" array).
+type benchFile struct {
+	Train []benchRecord `json:"train"`
+	Serve []benchRecord `json:"serve"`
+}
+
+// loadBaselines maps benchmark name -> recorded ns/op across files.
+func loadBaselines(paths []string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading baseline %s: %w", path, err)
+		}
+		var f benchFile
+		if err := json.Unmarshal(b, &f); err != nil {
+			return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+		}
+		for _, rec := range append(f.Train, f.Serve...) {
+			if rec.Name != "" && rec.After.NsPerOp > 0 {
+				out[rec.Name] = rec.After.NsPerOp
+			}
+		}
+	}
+	return out, nil
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkPretrain-8    100    7509136 ns/op    648433 B/op    682 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped from the reported name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBenchOutput maps benchmark name -> measured ns/op from go test
+// -bench output. When a benchmark appears multiple times the fastest
+// run wins, which keeps the gate robust against one-off scheduling
+// hiccups on shared CI runners.
+func parseBenchOutput(r *bufio.Scanner) (map[string]float64, error) {
+	out := map[string]float64{}
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", r.Text(), err)
+		}
+		if cur, ok := out[m[1]]; !ok || ns < cur {
+			out[m[1]] = ns
+		}
+	}
+	return out, r.Err()
+}
+
+// gate compares measured times against baselines and returns one
+// failure line per violated bound, plus a log line per checked bench.
+func gate(measured, baselines map[string]float64, required []string, maxRatio float64) (checked []string, failures []string) {
+	for _, name := range required {
+		ns, ok := measured[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: required benchmark missing from measured output", name))
+			continue
+		}
+		base, ok := baselines[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no recorded baseline", name))
+			continue
+		}
+		ratio := ns / base
+		line := fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, limit %.1fx)", name, ns, base, ratio, maxRatio)
+		checked = append(checked, line)
+		if ratio > maxRatio {
+			failures = append(failures, line)
+		}
+	}
+	return checked, failures
+}
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var baselinePaths, required multiFlag
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
+	flag.Var(&baselinePaths, "baseline", "BENCH_*.json baseline file (repeatable)")
+	flag.Var(&required, "require", "benchmark name that must be present and within bounds (repeatable)")
+	flag.Parse()
+	if len(baselinePaths) == 0 || len(required) == 0 || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline BENCH.json -require BenchmarkName [-max-ratio 2.0] benchout.txt...")
+		os.Exit(2)
+	}
+
+	baselines, err := loadBaselines(baselinePaths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	measured := map[string]float64{}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		m, err := parseBenchOutput(bufio.NewScanner(f))
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		for name, ns := range m {
+			if cur, ok := measured[name]; !ok || ns < cur {
+				measured[name] = ns
+			}
+		}
+	}
+
+	checked, failures := gate(measured, baselines, required, *maxRatio)
+	for _, line := range checked {
+		fmt.Println("ok:", line)
+	}
+	if len(failures) > 0 {
+		for _, line := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", line)
+		}
+		os.Exit(1)
+	}
+}

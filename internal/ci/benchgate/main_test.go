@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPretrain-8          100           7509136 ns/op          648433 B/op        682 allocs/op
+BenchmarkPretrain-8          100           7209136 ns/op          648433 B/op        682 allocs/op
+BenchmarkPredictBatchWarm-8  100            179848 ns/op       5560243 pred/s       32897 B/op          3 allocs/op
+PASS
+ok      repro/internal/core     2.731s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	m, err := parseBenchOutput(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Repeated benchmark: fastest run wins; GOMAXPROCS suffix stripped.
+	if got := m["BenchmarkPretrain"]; got != 7209136 {
+		t.Fatalf("BenchmarkPretrain = %v, want 7209136 (fastest of two runs)", got)
+	}
+	if got := m["BenchmarkPredictBatchWarm"]; got != 179848 {
+		t.Fatalf("BenchmarkPredictBatchWarm = %v, want 179848", got)
+	}
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(m))
+	}
+}
+
+func TestGate(t *testing.T) {
+	baselines := map[string]float64{"BenchmarkPretrain": 1000, "BenchmarkWarm": 100}
+	required := []string{"BenchmarkPretrain", "BenchmarkWarm"}
+
+	// Within bounds (exactly at the limit passes).
+	checked, failures := gate(map[string]float64{"BenchmarkPretrain": 2000, "BenchmarkWarm": 150}, baselines, required, 2.0)
+	if len(failures) != 0 {
+		t.Fatalf("in-bounds run failed: %v", failures)
+	}
+	if len(checked) != 2 {
+		t.Fatalf("checked %d benchmarks, want 2", len(checked))
+	}
+
+	// Regression past the ratio fails.
+	_, failures = gate(map[string]float64{"BenchmarkPretrain": 2001, "BenchmarkWarm": 90}, baselines, required, 2.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkPretrain") {
+		t.Fatalf("failures = %v, want exactly the regressed benchmark", failures)
+	}
+
+	// A required benchmark missing from the measurement fails loudly.
+	_, failures = gate(map[string]float64{"BenchmarkPretrain": 500}, baselines, required, 2.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkWarm") {
+		t.Fatalf("failures = %v, want missing-benchmark failure", failures)
+	}
+
+	// A benchmark without a recorded baseline fails loudly too.
+	_, failures = gate(map[string]float64{"BenchmarkOther": 500}, map[string]float64{}, []string{"BenchmarkOther"}, 2.0)
+	if len(failures) != 1 || !strings.Contains(failures[0], "no recorded baseline") {
+		t.Fatalf("failures = %v, want no-baseline failure", failures)
+	}
+}
+
+func TestLoadBaselines(t *testing.T) {
+	// The real repo files are the fixtures: the gate must find the two
+	// benchmarks CI requires in them.
+	m, err := loadBaselines([]string{"../../../BENCH_train.json", "../../../BENCH_serve.json"})
+	if err != nil {
+		t.Fatalf("loadBaselines: %v", err)
+	}
+	for _, name := range []string{"BenchmarkPretrain", "BenchmarkPredictBatchWarm"} {
+		if m[name] <= 0 {
+			t.Fatalf("baseline for %s = %v, want > 0", name, m[name])
+		}
+	}
+}

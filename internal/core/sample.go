@@ -34,6 +34,37 @@ func SamplesFromExecutions(execs []dataset.Execution) []Sample {
 	return out
 }
 
+// ValidateSample checks one observation against a model configuration:
+// positive scale-out and runtime, and property counts the architecture
+// can encode. Online ingestion uses it to filter live observations
+// before they reach a fine-tune.
+func ValidateSample(cfg Config, s Sample) error {
+	if err := checkSample(cfg, s); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}
+
+// checkSample is the prefix-free form shared by ValidateSample and
+// validateSamples, so neither wrapper doubles the package prefix.
+func checkSample(cfg Config, s Sample) error {
+	if s.ScaleOut <= 0 {
+		return fmt.Errorf("scale-out %d must be positive", s.ScaleOut)
+	}
+	if s.RuntimeSec <= 0 {
+		return fmt.Errorf("runtime %v must be positive", s.RuntimeSec)
+	}
+	if len(s.Essential) != cfg.NumEssential {
+		return fmt.Errorf("got %d essential properties, model expects %d",
+			len(s.Essential), cfg.NumEssential)
+	}
+	if len(s.Optional) > cfg.NumOptional {
+		return fmt.Errorf("got %d optional properties, model allows %d",
+			len(s.Optional), cfg.NumOptional)
+	}
+	return nil
+}
+
 // validateSamples checks that every sample matches the model's expected
 // property counts and has positive scale-out and runtime.
 func validateSamples(cfg Config, samples []Sample) error {
@@ -41,19 +72,8 @@ func validateSamples(cfg Config, samples []Sample) error {
 		return fmt.Errorf("core: no samples")
 	}
 	for i, s := range samples {
-		if s.ScaleOut <= 0 {
-			return fmt.Errorf("core: sample %d scale-out %d must be positive", i, s.ScaleOut)
-		}
-		if s.RuntimeSec <= 0 {
-			return fmt.Errorf("core: sample %d runtime %v must be positive", i, s.RuntimeSec)
-		}
-		if len(s.Essential) != cfg.NumEssential {
-			return fmt.Errorf("core: sample %d has %d essential properties, model expects %d",
-				i, len(s.Essential), cfg.NumEssential)
-		}
-		if len(s.Optional) > cfg.NumOptional {
-			return fmt.Errorf("core: sample %d has %d optional properties, model allows %d",
-				i, len(s.Optional), cfg.NumOptional)
+		if err := checkSample(cfg, s); err != nil {
+			return fmt.Errorf("core: sample %d: %w", i, err)
 		}
 	}
 	return nil

@@ -85,11 +85,27 @@ func LoadFile(path string) (*Model, error) {
 
 // Clone deep-copies the model (weights, normalization, scaler) so that a
 // pre-trained model can be fine-tuned repeatedly from the same starting
-// point, as the evaluation's sub-sampling cross-validation requires.
+// point — the evaluation's sub-sampling cross-validation and the online
+// fine-tuning of the serving lifecycle both depend on it. The copy is
+// direct (no serialization round-trip) and deliberately shallow where
+// state is transient: the clone gets a fresh, empty workspace and empty
+// batch buffers, so cloning a model that has served large batches does
+// not duplicate its scratch arena.
 func (m *Model) Clone() (*Model, error) {
-	var buf bytes.Buffer
-	if err := m.Save(&buf); err != nil {
+	c, err := New(m.Cfg)
+	if err != nil {
 		return nil, err
 	}
-	return Load(&buf)
+	src, dst := m.Params(), c.Params()
+	for i, p := range src {
+		copy(dst[i].Value.Data, p.Value.Data)
+	}
+	c.norm = &MinMaxNormalizer{
+		Min:    append([]float64(nil), m.norm.Min...),
+		Max:    append([]float64(nil), m.norm.Max...),
+		fitted: m.norm.fitted,
+	}
+	c.target = &TargetScaler{Scale: m.target.Scale}
+	c.pretrained = m.pretrained
+	return c, nil
 }

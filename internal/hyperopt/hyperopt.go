@@ -108,7 +108,10 @@ func Search(base core.Config, samples []core.Sample, space Space, opts Options) 
 	}
 
 	// Pre-draw configurations so trials are independent of scheduling.
-	type cand struct{ dropout, lr, wd float64; seed int64 }
+	type cand struct {
+		dropout, lr, wd float64
+		seed            int64
+	}
 	cands := make([]cand, opts.Trials)
 	for i := range cands {
 		d, l, w := space.Sample(rng)

@@ -25,11 +25,11 @@ import (
 type panelOp uint8
 
 const (
-	opMulRows panelOp = iota // dst rows = a*b rows, direct kernel
-	opMulPacked              // dst row-panels of blockMC, packed kernel
-	opMulATBCols             // dst rows = (aᵀb) output rows (a columns)
-	opMulABTRows             // dst rows = a*bᵀ rows
-	opMulVecRows             // y rows = a*x rows
+	opMulRows    panelOp = iota // dst rows = a*b rows, direct kernel
+	opMulPacked                 // dst row-panels of blockMC, packed kernel
+	opMulATBCols                // dst rows = (aᵀb) output rows (a columns)
+	opMulABTRows                // dst rows = a*bᵀ rows
+	opMulVecRows                // y rows = a*x rows
 )
 
 // panelJob is one parallel product: workers claim panel chunks via the

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -17,6 +18,12 @@ type resultCache struct {
 	mu      sync.Mutex
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
+	// epoch counts invalidations. Writers snapshot it before computing
+	// a prediction and pass it to put, which discards the result if an
+	// invalidation ran in between — otherwise a prediction computed on
+	// a model version hot-swapped away mid-flight could be memoized
+	// after the swap's invalidation and serve stale values forever.
+	epoch uint64
 }
 
 type cacheItem struct {
@@ -53,11 +60,26 @@ func (c *resultCache) get(key []byte) (float64, bool) {
 	return el.Value.(*cacheItem).val, true
 }
 
-// put stores val under key, evicting the least recently used entry when
-// the cache is full.
-func (c *resultCache) put(key string, val float64) {
+// snapshot returns the current invalidation epoch. Take it before
+// reading the model a result will be computed on.
+func (c *resultCache) snapshot() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// put stores val under key, evicting the least recently used entry when
+// the cache is full. epoch must be a snapshot taken before the value
+// was computed: if any invalidation ran since, the value may derive
+// from a replaced model version and is dropped instead of stored (a
+// lost memoization at worst — the next miss recomputes on the current
+// version).
+func (c *resultCache) put(key string, val float64, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != epoch {
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheItem).val = val
 		c.lru.MoveToFront(el)
@@ -69,6 +91,30 @@ func (c *resultCache) put(key string, val float64) {
 		c.lru.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheItem).key)
 	}
+}
+
+// invalidatePrefix removes every memoized result whose fingerprint
+// starts with prefix and reports how many were dropped. The scan is
+// O(cache size), which is fine for its one caller — model hot-swaps,
+// which are rare next to predictions. Because fingerprint fields are
+// length-prefixed, a model-key prefix can never partially match a
+// longer key, so exactly the swapped model's results are dropped.
+func (c *resultCache) invalidatePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		it := el.Value.(*cacheItem)
+		if strings.HasPrefix(it.key, prefix) {
+			c.lru.Remove(el)
+			delete(c.entries, it.key)
+			n++
+		}
+		el = next
+	}
+	return n
 }
 
 // len reports the number of memoized results.
@@ -100,8 +146,7 @@ var fpPool = sync.Pool{New: func() any {
 // TestWarmPredictZeroAlloc); only a miss pays for one string
 // conversion when the key is stored.
 func appendFingerprint(dst []byte, key ModelKey, q core.Query) []byte {
-	dst = appendField(dst, key.Job)
-	dst = appendField(dst, key.Env)
+	dst = appendKeyPrefix(dst, key)
 	dst = strconv.AppendInt(dst, int64(q.ScaleOut), 10)
 	for _, p := range q.Essential {
 		dst = append(dst, 'e')
@@ -114,6 +159,14 @@ func appendFingerprint(dst []byte, key ModelKey, q core.Query) []byte {
 		dst = appendField(dst, p.Value)
 	}
 	return dst
+}
+
+// appendKeyPrefix appends the model-key fields of a fingerprint — the
+// prefix shared by every memoized result of that model, which is what
+// a hot-swap invalidates.
+func appendKeyPrefix(dst []byte, key ModelKey) []byte {
+	dst = appendField(dst, key.Job)
+	return appendField(dst, key.Env)
 }
 
 // fingerprint is the allocating convenience form of appendFingerprint,

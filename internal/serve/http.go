@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -31,6 +32,19 @@ type predictResponseJSON struct {
 	Error      string  `json:"error,omitempty"`
 }
 
+// observeRequestJSON is the wire form of one runtime observation: a
+// prediction request plus the runtime actually measured for it.
+type observeRequestJSON struct {
+	predictRequestJSON
+	RuntimeSec float64 `json:"runtime_sec"`
+}
+
+// observeResponseJSON is the wire form of POST /v1/observe.
+type observeResponseJSON struct {
+	Accepted bool   `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
 // batchRequestJSON wraps the requests of POST /v1/predict/batch.
 type batchRequestJSON struct {
 	Requests []predictRequestJSON `json:"requests"`
@@ -43,17 +57,31 @@ type batchResponseJSON struct {
 
 // statsJSON is the wire form of GET /v1/stats.
 type statsJSON struct {
-	Requests        int64   `json:"requests"`
-	Calls           int64   `json:"calls"`
-	ResultHits      int64   `json:"result_hits"`
-	ResultMisses    int64   `json:"result_misses"`
-	ResultCacheLen  int     `json:"result_cache_len"`
-	MeanLatencyUsec float64 `json:"mean_latency_usec"`
-	ModelHits       int64   `json:"model_hits"`
-	ModelMisses     int64   `json:"model_misses"`
-	ModelLoads      int64   `json:"model_loads"`
-	ModelLoadErrors int64   `json:"model_load_errors"`
-	ModelEvictions  int64   `json:"model_evictions"`
+	Requests        int64          `json:"requests"`
+	Calls           int64          `json:"calls"`
+	ResultHits      int64          `json:"result_hits"`
+	ResultMisses    int64          `json:"result_misses"`
+	ResultCacheLen  int            `json:"result_cache_len"`
+	MeanLatencyUsec float64        `json:"mean_latency_usec"`
+	ModelHits       int64          `json:"model_hits"`
+	ModelMisses     int64          `json:"model_misses"`
+	ModelLoads      int64          `json:"model_loads"`
+	ModelLoadErrors int64          `json:"model_load_errors"`
+	ModelEvictions  int64          `json:"model_evictions"`
+	ModelSwaps      int64          `json:"model_swaps,omitempty"`
+	Lifecycle       *lifecycleJSON `json:"lifecycle,omitempty"`
+}
+
+// lifecycleJSON is the wire form of the online-learning counters.
+type lifecycleJSON struct {
+	Observations     int64   `json:"observations"`
+	Rejected         int64   `json:"rejected"`
+	PendingSamples   int     `json:"pending_samples"`
+	Finetunes        int64   `json:"finetunes"`
+	FinetuneErrors   int64   `json:"finetune_errors"`
+	Swaps            int64   `json:"swaps"`
+	SwapsSkipped     int64   `json:"swaps_skipped"`
+	MeanFinetuneUsec float64 `json:"mean_finetune_usec"`
 }
 
 func toRequest(in predictRequestJSON) (Request, error) {
@@ -142,9 +170,39 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		var in observeRequestJSON
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		req, err := toRequest(in.predictRequestJSON)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.Observe(req.Key, req.Query, in.RuntimeSec); err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrObserveDisabled):
+				code = http.StatusServiceUnavailable
+			case errors.Is(err, ErrObserveCapacity):
+				// Valid request, server-side limit: retriable, not 4xx
+				// client fault.
+				code = http.StatusTooManyRequests
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			_ = json.NewEncoder(w).Encode(observeResponseJSON{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(observeResponseJSON{Accepted: true})
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
-		writeJSON(w, statsJSON{
+		out := statsJSON{
 			Requests:        st.Requests,
 			Calls:           st.Calls,
 			ResultHits:      st.ResultHits,
@@ -156,7 +214,21 @@ func (s *Service) Handler() http.Handler {
 			ModelLoads:      st.Registry.Loads,
 			ModelLoadErrors: st.Registry.LoadErrors,
 			ModelEvictions:  st.Registry.Evictions,
-		})
+			ModelSwaps:      st.Registry.Swaps,
+		}
+		if ls, ok := s.lifecycleStats(); ok {
+			out.Lifecycle = &lifecycleJSON{
+				Observations:     ls.Observations,
+				Rejected:         ls.Rejected,
+				PendingSamples:   ls.PendingSamples,
+				Finetunes:        ls.Finetunes,
+				FinetuneErrors:   ls.FinetuneErrors,
+				Swaps:            ls.Swaps,
+				SwapsSkipped:     ls.SwapsSkipped,
+				MeanFinetuneUsec: float64(ls.MeanFinetune.Nanoseconds()) / 1e3,
+			}
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

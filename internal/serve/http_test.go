@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Service) {
@@ -125,6 +128,113 @@ func TestHTTPBadJSON(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+// recordingObserver accepts observations and exposes fixed lifecycle
+// stats, standing in for the lifecycle controller in HTTP tests. A
+// positive capacity rejects observations past it with the capacity
+// sentinel, like the controller's distinct-key bound.
+type recordingObserver struct {
+	mu       sync.Mutex
+	seen     []float64
+	capacity int
+}
+
+func (o *recordingObserver) Observe(key ModelKey, q core.Query, runtimeSec float64) error {
+	if runtimeSec <= 0 {
+		return fmt.Errorf("observed runtime %v must be positive", runtimeSec)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.capacity > 0 && len(o.seen) >= o.capacity {
+		return fmt.Errorf("observer full: %w", ErrObserveCapacity)
+	}
+	o.seen = append(o.seen, runtimeSec)
+	return nil
+}
+
+func (o *recordingObserver) LifecycleStats() LifecycleStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return LifecycleStats{Observations: int64(len(o.seen))}
+}
+
+func wireObservation(scaleOut, sizeMB int, runtime float64) observeRequestJSON {
+	return observeRequestJSON{predictRequestJSON: wireRequest(scaleOut, sizeMB), RuntimeSec: runtime}
+}
+
+func TestHTTPObserveDisabledWithoutObserver(t *testing.T) {
+	srv, _ := newTestServer(t)
+	var out observeResponseJSON
+	code := postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, 55), &out)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", code)
+	}
+	if out.Accepted || out.Error == "" {
+		t.Fatalf("response = %+v, want rejection with error", out)
+	}
+}
+
+func TestHTTPObserve(t *testing.T) {
+	srv, svc := newTestServer(t)
+	obs := &recordingObserver{}
+	svc.AttachObserver(obs)
+
+	var out observeResponseJSON
+	code := postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, 55.5), &out)
+	if code != http.StatusAccepted || !out.Accepted {
+		t.Fatalf("status %d, accepted %v, want 202 accepted", code, out.Accepted)
+	}
+	if len(obs.seen) != 1 || obs.seen[0] != 55.5 {
+		t.Fatalf("observer saw %v, want [55.5]", obs.seen)
+	}
+
+	// Invalid observation: rejected by the observer -> 400.
+	code = postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, -1), &out)
+	if code != http.StatusBadRequest || out.Accepted {
+		t.Fatalf("status %d, accepted %v, want 400 rejection", code, out.Accepted)
+	}
+	// Malformed request (missing job): rejected before the observer.
+	bad := wireObservation(4, 10000, 10)
+	bad.Job = ""
+	code = postJSON(t, srv.URL+"/v1/observe", bad, &out)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+	if len(obs.seen) != 1 {
+		t.Fatalf("observer saw %d observations, want 1 (invalid ones filtered)", len(obs.seen))
+	}
+
+	// Lifecycle counters surface in /v1/stats once an observer with
+	// stats is attached.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st statsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.Lifecycle == nil || st.Lifecycle.Observations != 1 {
+		t.Fatalf("stats lifecycle = %+v, want 1 observation", st.Lifecycle)
+	}
+}
+
+// TestHTTPObserveCapacityIs429: a server-side capacity rejection is a
+// retriable 429, not a 400 telling the client its request is bad.
+func TestHTTPObserveCapacityIs429(t *testing.T) {
+	srv, svc := newTestServer(t)
+	svc.AttachObserver(&recordingObserver{capacity: 1})
+
+	var out observeResponseJSON
+	if code := postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, 12), &out); code != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", code)
+	}
+	code := postJSON(t, srv.URL+"/v1/observe", wireObservation(6, 10000, 13), &out)
+	if code != http.StatusTooManyRequests || out.Accepted {
+		t.Fatalf("status %d, accepted %v, want 429 rejection", code, out.Accepted)
 	}
 }
 

@@ -73,13 +73,36 @@ func (sm *Model) PredictBatchInto(dst []float64, qs []core.Query) error {
 // touching forward-pass state; it needs no lock.
 func (sm *Model) Validate(q core.Query) error { return sm.m.ValidateQuery(q) }
 
+// CloneCore deep-copies the underlying model under the serving lock, so
+// online fine-tuning can adapt a private copy while this model keeps
+// serving. The clone gets its own (empty) workspace; only weights and
+// scalers are copied.
+func (sm *Model) CloneCore() (*core.Model, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.m.Clone()
+}
+
+// versioned is one published model version. Get reads it through an
+// atomic pointer, so a hot-swap never blocks serving: in-flight
+// predictions keep the *Model they already hold and finish on the old
+// version while new Gets pick up the replacement.
+type versioned struct {
+	version uint64
+	sm      *Model
+}
+
 // entry is one registry slot. ready is closed when the load finishes
 // (successfully or not), letting concurrent getters wait without
-// holding the registry lock.
+// holding the registry lock. gen identifies this residency: an entry
+// created by a later reload (after eviction or a failed load) carries a
+// different generation, which is what lets Swap refuse to resurrect
+// weights derived from an evicted version.
 type entry struct {
 	key   ModelKey
+	gen   uint64
 	ready chan struct{}
-	sm    *Model
+	slot  atomic.Pointer[versioned]
 	err   error
 	elem  *list.Element
 }
@@ -97,6 +120,11 @@ type RegistryStats struct {
 	LoadErrors int64
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64
+	// Swaps counts successful hot-swaps of a new model version.
+	Swaps int64
+	// SwapsSkipped counts Swap calls refused because the target
+	// generation was no longer resident (evicted or reloaded).
+	SwapsSkipped int64
 }
 
 // Registry lazily loads and caches serving models keyed by execution
@@ -110,7 +138,10 @@ type Registry struct {
 	entries map[ModelKey]*entry
 	lru     *list.List // front = most recently used
 
+	genCounter atomic.Uint64
+
 	hits, misses, loads, loadErrors, evictions atomic.Int64
+	swaps, swapsSkipped                        atomic.Int64
 }
 
 // DefaultModelCap bounds the resident models when no capacity is given.
@@ -134,30 +165,38 @@ func NewRegistry(loader Loader, capacity int) *Registry {
 // concurrent callers for the same key share one loader invocation. A
 // failed load is not cached: the next Get retries.
 func (r *Registry) Get(key ModelKey) (*Model, error) {
-	r.mu.Lock()
-	if e, ok := r.entries[key]; ok {
-		r.lru.MoveToFront(e.elem)
-		r.mu.Unlock()
-		r.hits.Add(1)
+	ref, err := r.GetRef(key)
+	if err != nil {
+		return nil, err
+	}
+	return ref.Model, nil
+}
+
+// Ref is a stable reference to one resident model version: the model
+// itself, the version it was published as, and the generation of its
+// registry slot. Gen is the swap token — a fine-tune started from this
+// reference passes it to Swap, which refuses the install if the slot
+// has since been evicted or reloaded.
+type Ref struct {
+	Model   *Model
+	Version uint64
+	Gen     uint64
+}
+
+// GetRef is Get plus the version/generation coordinates of the returned
+// model, for callers (the lifecycle controller) that later want to
+// Swap a derived model back in.
+func (r *Registry) GetRef(key ModelKey) (Ref, error) {
+	e, loaded := r.acquire(key)
+	if loaded {
 		<-e.ready
 		if e.err != nil {
-			return nil, e.err
+			return Ref{}, e.err
 		}
-		return e.sm, nil
+		v := e.slot.Load()
+		return Ref{Model: v.sm, Version: v.version, Gen: e.gen}, nil
 	}
-	e := &entry{key: key, ready: make(chan struct{})}
-	e.elem = r.lru.PushFront(e)
-	r.entries[key] = e
-	for r.lru.Len() > r.cap {
-		oldest := r.lru.Back()
-		victim := oldest.Value.(*entry)
-		r.lru.Remove(oldest)
-		delete(r.entries, victim.key)
-		r.evictions.Add(1)
-	}
-	r.mu.Unlock()
 
-	r.misses.Add(1)
 	m, err := r.loader(key)
 	if err != nil {
 		e.err = fmt.Errorf("serve: loading model %s: %w", key, err)
@@ -170,12 +209,88 @@ func (r *Registry) Get(key ModelKey) (*Model, error) {
 			delete(r.entries, key)
 		}
 		r.mu.Unlock()
-		return nil, e.err
+		return Ref{}, e.err
 	}
-	e.sm = &Model{m: m}
+	v := &versioned{version: 1, sm: &Model{m: m}}
+	e.slot.Store(v)
 	r.loads.Add(1)
 	close(e.ready)
-	return e.sm, nil
+	return Ref{Model: v.sm, Version: v.version, Gen: e.gen}, nil
+}
+
+// acquire returns the entry for key, creating (and LRU-bounding) it
+// when absent. The boolean reports whether the entry already existed;
+// a false return means the caller owns the load.
+func (r *Registry) acquire(key ModelKey) (*entry, bool) {
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		r.hits.Add(1)
+		return e, true
+	}
+	e := &entry{key: key, gen: r.genCounter.Add(1), ready: make(chan struct{})}
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	for r.lru.Len() > r.cap {
+		oldest := r.lru.Back()
+		victim := oldest.Value.(*entry)
+		r.lru.Remove(oldest)
+		delete(r.entries, victim.key)
+		r.evictions.Add(1)
+	}
+	r.mu.Unlock()
+	r.misses.Add(1)
+	return e, false
+}
+
+// Swap atomically publishes m as the next version of key's slot,
+// provided the slot still holds the generation the caller derived m
+// from. It returns the new version number and whether the install
+// happened. A false return means the original residency is gone —
+// evicted, or reloaded after eviction — and the derived model must be
+// dropped: installing it would resurrect weights whose base version
+// the registry already discarded. In-flight predictions holding the
+// previous *Model finish on it undisturbed.
+func (r *Registry) Swap(key ModelKey, gen uint64, m *core.Model) (uint64, bool) {
+	sm := &Model{m: m}
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	if !ok || e.gen != gen {
+		r.mu.Unlock()
+		r.swapsSkipped.Add(1)
+		return 0, false
+	}
+	cur := e.slot.Load()
+	if cur == nil {
+		// Load still in flight: gen tokens come from completed GetRef
+		// calls, so this entry is a different (reloading) residency.
+		r.mu.Unlock()
+		r.swapsSkipped.Add(1)
+		return 0, false
+	}
+	next := &versioned{version: cur.version + 1, sm: sm}
+	e.slot.Store(next)
+	r.lru.MoveToFront(e.elem)
+	r.mu.Unlock()
+	r.swaps.Add(1)
+	return next.version, true
+}
+
+// Version reports the currently published version of key, or false
+// when the key is not resident (or still loading).
+func (r *Registry) Version(key ModelKey) (uint64, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	v := e.slot.Load()
+	if v == nil {
+		return 0, false
+	}
+	return v.version, true
 }
 
 // Len reports the number of resident (or loading) models.
@@ -188,10 +303,12 @@ func (r *Registry) Len() int {
 // Stats snapshots the counters.
 func (r *Registry) Stats() RegistryStats {
 	return RegistryStats{
-		Hits:       r.hits.Load(),
-		Misses:     r.misses.Load(),
-		Loads:      r.loads.Load(),
-		LoadErrors: r.loadErrors.Load(),
-		Evictions:  r.evictions.Load(),
+		Hits:         r.hits.Load(),
+		Misses:       r.misses.Load(),
+		Loads:        r.loads.Load(),
+		LoadErrors:   r.loadErrors.Load(),
+		Evictions:    r.evictions.Load(),
+		Swaps:        r.swaps.Load(),
+		SwapsSkipped: r.swapsSkipped.Load(),
 	}
 }

@@ -342,9 +342,9 @@ func TestPredictBatchPartialErrors(t *testing.T) {
 
 	reqs := []Request{
 		{good, testQuery(4, 10000)},
-		{badKey, testQuery(4, 10000)},             // model load fails
-		{good, testQuery(-1, 10000)},              // invalid scale-out
-		{good, core.Query{ScaleOut: 4}},           // missing essential properties
+		{badKey, testQuery(4, 10000)},   // model load fails
+		{good, testQuery(-1, 10000)},    // invalid scale-out
+		{good, core.Query{ScaleOut: 4}}, // missing essential properties
 		{good, testQuery(8, 10000)},
 	}
 	out := svc.PredictBatch(reqs)
@@ -422,7 +422,7 @@ func TestServiceConcurrentHammer(t *testing.T) {
 func TestResultCacheBounded(t *testing.T) {
 	c := newResultCache(8)
 	for i := 0; i < 100; i++ {
-		c.put(strconv.Itoa(i), float64(i))
+		c.put(strconv.Itoa(i), float64(i), c.snapshot())
 	}
 	if n := c.len(); n != 8 {
 		t.Fatalf("cache len = %d, want 8", n)
@@ -433,6 +433,24 @@ func TestResultCacheBounded(t *testing.T) {
 	}
 	if _, ok := c.get([]byte("0")); ok {
 		t.Fatal("oldest entry survived past capacity")
+	}
+}
+
+// TestResultCachePutRespectsEpoch pins the stale-memoization guard: a
+// result whose computation started before an invalidation (i.e. that
+// may derive from a hot-swapped-away model version) must not be stored.
+func TestResultCachePutRespectsEpoch(t *testing.T) {
+	c := newResultCache(8)
+	epoch := c.snapshot()
+	c.invalidatePrefix("anything") // concurrent swap invalidation
+	c.put("stale", 1, epoch)
+	if _, ok := c.get([]byte("stale")); ok {
+		t.Fatal("result computed before an invalidation was memoized after it")
+	}
+	// A fresh snapshot taken after the invalidation stores normally.
+	c.put("fresh", 2, c.snapshot())
+	if v, ok := c.get([]byte("fresh")); !ok || v != 2 {
+		t.Fatalf("get(fresh) = %v, %v", v, ok)
 	}
 }
 

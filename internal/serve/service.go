@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -54,6 +55,59 @@ type Stats struct {
 	Registry RegistryStats
 }
 
+// Observer ingests live runtime observations for online model
+// improvement. The lifecycle controller implements it; the service
+// only forwards, so serving stays decoupled from how (or whether)
+// observations feed back into models.
+type Observer interface {
+	Observe(key ModelKey, q core.Query, runtimeSec float64) error
+}
+
+// SwapNotifier is implemented by observers that hot-swap model
+// versions. AttachObserver uses it to subscribe the service's result
+// cache invalidation, so memoized predictions of a replaced version
+// can never outlive it.
+type SwapNotifier interface {
+	OnSwap(fn func(key ModelKey, version uint64))
+}
+
+// LifecycleStats is a snapshot of online-learning counters, surfaced
+// in /v1/stats when the attached Observer implements LifecycleStatser.
+type LifecycleStats struct {
+	// Observations counts accepted Observe calls; Rejected counts
+	// observations dropped for failing validation.
+	Observations, Rejected int64
+	// PendingSamples is the current total of buffered observations not
+	// yet digested by a fine-tune.
+	PendingSamples int
+	// Finetunes counts fine-tune runs (successful or failed).
+	// FinetuneErrors counts failed attempts of any kind — including
+	// model-load/clone failures that aborted before a run started, so
+	// under persistent load failures it can exceed Finetunes.
+	Finetunes, FinetuneErrors int64
+	// Swaps counts installed model versions; SwapsSkipped counts
+	// fine-tunes discarded because their base version was evicted.
+	Swaps, SwapsSkipped int64
+	// MeanFinetune is the average wall-clock time of a fine-tune run
+	// (failed runs included).
+	MeanFinetune time.Duration
+}
+
+// LifecycleStatser exposes online-learning counters.
+type LifecycleStatser interface {
+	LifecycleStats() LifecycleStats
+}
+
+// ErrObserveDisabled is returned by Observe when no observer is
+// attached (the server runs without online fine-tuning).
+var ErrObserveDisabled = errors.New("serve: observation ingestion disabled")
+
+// ErrObserveCapacity marks observation rejections caused by server-side
+// capacity limits (e.g. the lifecycle controller's distinct-key bound)
+// rather than a malformed request. Observers wrap it so the HTTP layer
+// can answer 429 instead of 400.
+var ErrObserveCapacity = errors.New("serve: observation capacity exhausted")
+
 // Service answers runtime predictions against a registry of models,
 // memoizing repeated queries and fanning batches across models. It is
 // safe for concurrent use.
@@ -61,6 +115,8 @@ type Service struct {
 	reg     *Registry
 	results *resultCache
 	workers int
+
+	observer atomic.Pointer[Observer]
 
 	requests, calls          atomic.Int64
 	resultHits, resultMisses atomic.Int64
@@ -78,6 +134,57 @@ func NewService(loader Loader, opts Options) *Service {
 
 // Registry exposes the underlying model registry (e.g. for warm-up).
 func (s *Service) Registry() *Registry { return s.reg }
+
+// AttachObserver wires an observation sink into the service: Observe
+// calls (and POST /v1/observe) forward to it. When the observer also
+// notifies about hot-swaps, the service subscribes its result-cache
+// invalidation so stale memoized predictions are dropped the moment a
+// new model version is installed. Attach before serving traffic.
+func (s *Service) AttachObserver(o Observer) {
+	if sn, ok := o.(SwapNotifier); ok {
+		sn.OnSwap(func(key ModelKey, version uint64) {
+			s.InvalidateResults(key)
+		})
+	}
+	s.observer.Store(&o)
+}
+
+// Observe forwards a live runtime observation to the attached
+// observer, or reports ErrObserveDisabled when there is none.
+func (s *Service) Observe(key ModelKey, q core.Query, runtimeSec float64) error {
+	o := s.observer.Load()
+	if o == nil {
+		return ErrObserveDisabled
+	}
+	return (*o).Observe(key, q, runtimeSec)
+}
+
+// lifecycleStats snapshots the attached observer's counters, if it
+// exposes any.
+func (s *Service) lifecycleStats() (LifecycleStats, bool) {
+	o := s.observer.Load()
+	if o == nil {
+		return LifecycleStats{}, false
+	}
+	ls, ok := (*o).(LifecycleStatser)
+	if !ok {
+		return LifecycleStats{}, false
+	}
+	return ls.LifecycleStats(), true
+}
+
+// InvalidateResults drops every memoized result of key's model and
+// reports how many were dropped. Hot-swaps call it through the
+// observer subscription; it is also safe to call directly (e.g. after
+// replacing a model file on disk and evicting the key).
+func (s *Service) InvalidateResults(key ModelKey) int {
+	bufp := fpPool.Get().(*[]byte)
+	prefix := appendKeyPrefix((*bufp)[:0], key)
+	n := s.results.invalidatePrefix(string(prefix))
+	*bufp = prefix
+	fpPool.Put(bufp)
+	return n
+}
 
 // Predict answers a single request.
 func (s *Service) Predict(key ModelKey, q core.Query) Response {
@@ -100,6 +207,10 @@ func (s *Service) predictOne(key ModelKey, q core.Query) Response {
 	*bufp = fp
 	fpPool.Put(bufp)
 	s.resultMisses.Add(1)
+	// Snapshot the invalidation epoch before touching the model: if a
+	// hot-swap invalidates this key while the prediction is in flight,
+	// the epoch moves and the stale value is not memoized.
+	epoch := s.results.snapshot()
 	sm, err := s.reg.Get(key)
 	if err != nil {
 		return Response{Err: err}
@@ -108,7 +219,7 @@ func (s *Service) predictOne(key ModelKey, q core.Query) Response {
 	if err != nil {
 		return Response{Err: err}
 	}
-	s.results.put(fps, v)
+	s.results.put(fps, v, epoch)
 	return Response{RuntimeSec: v}
 }
 
@@ -158,6 +269,10 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 	*bufp = buf
 	fpPool.Put(bufp)
 
+	// One epoch snapshot covers the whole fan-out: every model read
+	// happens after it, so a concurrent swap+invalidation moves the
+	// epoch and blocks memoization of any possibly-stale group result.
+	epoch := s.results.snapshot()
 	parallel.ForEach(len(keys), s.workers, func(k int) {
 		key := keys[k]
 		miss := groups[key]
@@ -199,7 +314,7 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 			return
 		}
 		for j, g := range valid {
-			s.results.put(g.fp, preds[j])
+			s.results.put(g.fp, preds[j], epoch)
 			for _, i := range g.idxs {
 				out[i] = Response{RuntimeSec: preds[j]}
 			}
