@@ -1,0 +1,122 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/allocate"
+	"repro/internal/baselines"
+	"repro/internal/core"
+)
+
+// pointsFlag collects repeated -observe scaleOut=runtime flags.
+type pointsFlag struct {
+	points []baselines.Point
+}
+
+func (p *pointsFlag) String() string {
+	parts := make([]string, len(p.points))
+	for i, pt := range p.points {
+		parts[i] = fmt.Sprintf("%d=%g", pt.ScaleOut, pt.Runtime)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *pointsFlag) Set(s string) error {
+	so, rt, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("observation %q must be scaleOut=runtimeSec", s)
+	}
+	x, err := strconv.Atoi(so)
+	if err != nil {
+		return fmt.Errorf("observation scale-out %q: %w", so, err)
+	}
+	r, err := strconv.ParseFloat(rt, 64)
+	if err != nil {
+		return fmt.Errorf("observation runtime %q: %w", rt, err)
+	}
+	p.points = append(p.points, baselines.Point{ScaleOut: x, Runtime: r})
+	return nil
+}
+
+func runAllocate(args []string) error {
+	fs := flag.NewFlagSet("allocate", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained model path (required)")
+	minSO := fs.Int("min-scale-out", 1, "smallest candidate scale-out")
+	maxSO := fs.Int("max-scale-out", 16, "largest candidate scale-out")
+	step := fs.Int("step", 1, "candidate scale-out stride")
+	deadline := fs.Float64("deadline", 0, "runtime SLO in seconds (required)")
+	cost := fs.Float64("cost", 1, "cost per node-hour")
+	margin := fs.Float64("margin", 0, "safety margin as a fraction of the deadline (e.g. 0.1)")
+	minSamples := fs.Int("min-samples", 0, "fine-tune samples the model must have, else fall back to interpolating -observe points")
+	essential := &propsFlag{}
+	optional := &propsFlag{optional: true}
+	observations := &pointsFlag{}
+	fs.Var(essential, "essential", "essential property name=value (repeatable, in model order)")
+	fs.Var(optional, "optional", "optional property name=value (repeatable)")
+	fs.Var(observations, "observe", "measured scaleOut=runtimeSec point for the fallback (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("allocate: missing -model")
+	}
+	if *deadline <= 0 {
+		return fmt.Errorf("allocate: missing or non-positive -deadline")
+	}
+
+	m, err := core.LoadFile(*modelPath)
+	if err != nil {
+		return fmt.Errorf("allocate: %w", err)
+	}
+	engine := allocate.NewEngine()
+	res, err := engine.Allocate(m, allocate.Request{
+		Essential:       essential.props,
+		Optional:        optional.props,
+		MinScaleOut:     *minSO,
+		MaxScaleOut:     *maxSO,
+		Step:            *step,
+		DeadlineSec:     *deadline,
+		CostPerNodeHour: *cost,
+		SafetyMargin:    *margin,
+		MinModelSamples: *minSamples,
+		Observations:    observations.points,
+	})
+	if err != nil {
+		return fmt.Errorf("allocate: %w", err)
+	}
+
+	fmt.Printf("%10s %14s %14s %12s %6s\n", "scale-out", "predicted [s]", "smoothed [s]", "cost", "SLO")
+	for _, cp := range res.Curve {
+		mark := " "
+		if cp.MeetsSLO {
+			mark = "ok"
+		}
+		chosen := " "
+		if cp.ScaleOut == res.Chosen.ScaleOut {
+			chosen = "*"
+		}
+		fmt.Printf("%9d%s %14.2f %14.2f %12.4f %6s\n",
+			cp.ScaleOut, chosen, cp.PredictedSec, cp.SmoothedSec, cp.Cost, mark)
+	}
+	fmt.Println()
+	switch {
+	case res.Feasible:
+		fmt.Printf("chosen: scale-out %d at %.2fs (cost %.4f), margin %.1fs (%.0f%% of deadline), source %s\n",
+			res.Chosen.ScaleOut, res.Chosen.SmoothedSec, res.Chosen.Cost,
+			res.MarginSec, res.MarginFrac*100, res.Source)
+	default:
+		fmt.Printf("SLO VIOLATION: no candidate meets the %.2fs deadline; best effort is scale-out %d at %.2fs (cost %.4f, %.1fs over), source %s\n",
+			*deadline, res.Chosen.ScaleOut, res.Chosen.SmoothedSec, res.Chosen.Cost,
+			-res.MarginSec, res.Source)
+	}
+	if res.Fallback {
+		fmt.Println("note: model had too little fine-tune support; curve interpolated from -observe points")
+	}
+	if res.LowSupport {
+		fmt.Println("warning: model reports less fine-tune support than -min-samples and no -observe points were given")
+	}
+	return nil
+}

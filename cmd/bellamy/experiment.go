@@ -11,7 +11,7 @@ import (
 
 func runExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
-	kind := fs.String("kind", "crosscontext", "experiment: crosscontext (§IV-C1) or crossenv (§IV-C2)")
+	kind := fs.String("kind", "crosscontext", "experiment: crosscontext (§IV-C1), crossenv (§IV-C2) or allocation")
 	seed := fs.Int64("seed", 1, "seed for simulation, splits and model init")
 	jobs := fs.String("jobs", "", "comma-separated job filter (default: all)")
 	maxSplits := fs.Int("max-splits", 0, "splits per training size (0 = laptop-scale default)")
@@ -58,6 +58,30 @@ func runExperiment(args []string) error {
 		fmt.Println(experiments.FormatMAETable(res.Measurements, "Cross-context (Fig. 6)"))
 		fmt.Println(experiments.FormatEpochECDF(res.Measurements))
 		fmt.Println(experiments.FormatFitTimes(res.Measurements))
+	case "allocation":
+		cfg := experiments.DefaultAllocationConfig()
+		cfg.Seed = *seed
+		cfg.Jobs = jobList
+		cfg.Workers = *workers
+		if *maxSplits > 0 {
+			cfg.MaxSplits = *maxSplits
+		}
+		if *contexts > 0 {
+			cfg.ContextsPerJob = *contexts
+		}
+		if *pretrainEpochs > 0 {
+			cfg.Model.PretrainEpochs = *pretrainEpochs
+		}
+		if *finetuneEpochs > 0 {
+			cfg.Model.FinetuneEpochs = *finetuneEpochs
+		}
+		ds := dataset.GenerateC3O(dataset.SimConfig{Seed: *seed})
+		fmt.Printf("allocation-quality experiment on %d executions...\n", ds.Len())
+		res, err := experiments.RunAllocation(ds, cfg)
+		if err != nil {
+			return fmt.Errorf("experiment: %w", err)
+		}
+		fmt.Println(experiments.FormatAllocationTable(res.Measurements))
 	case "crossenv":
 		cfg := experiments.DefaultCrossEnvConfig()
 		cfg.Seed = *seed
@@ -82,7 +106,7 @@ func runExperiment(args []string) error {
 		fmt.Println(experiments.FormatMAETable(res.Measurements, "Cross-environment (Fig. 8)"))
 		fmt.Println(experiments.FormatFitTimes(res.Measurements))
 	default:
-		return fmt.Errorf("experiment: unknown -kind %q (want crosscontext or crossenv)", *kind)
+		return fmt.Errorf("experiment: unknown -kind %q (want crosscontext, crossenv or allocation)", *kind)
 	}
 	return nil
 }

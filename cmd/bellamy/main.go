@@ -14,8 +14,9 @@ const usage = `bellamy — runtime prediction for distributed dataflow jobs
 Usage:
   bellamy train      -data <csv|sim:c3o|sim:bell> -out <model> [flags]
   bellamy predict    -model <model> -scale-outs <2,4,...> [flags]
+  bellamy allocate   -model <model> -deadline <sec> [-min-scale-out 1 -max-scale-out 16] [flags]
   bellamy serve      -models <dir> [-addr :8080] [flags]
-  bellamy experiment -kind <crosscontext|crossenv> [flags]
+  bellamy experiment -kind <crosscontext|crossenv|allocation> [flags]
   bellamy dataset    -env <c3o|bell> [-out <csv>] [flags]
 
 Run "bellamy <subcommand> -h" for the flags of each subcommand.`
@@ -31,6 +32,8 @@ func main() {
 		err = runTrain(os.Args[2:])
 	case "predict":
 		err = runPredict(os.Args[2:])
+	case "allocate":
+		err = runAllocate(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "experiment":

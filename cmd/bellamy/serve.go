@@ -60,6 +60,6 @@ func runServe(args []string) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("serving models from %s on %s\n", *modelsDir, *addr)
-	fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/observe, GET /v1/stats, GET /healthz")
+	fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /healthz")
 	return srv.ListenAndServe()
 }

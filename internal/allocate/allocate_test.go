@@ -1,0 +1,420 @@
+package allocate
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+// funcPredictor turns a runtime curve function into a Predictor.
+type funcPredictor func(scaleOut int) float64
+
+func (f funcPredictor) PredictBatchInto(dst []float64, qs []core.Query) error {
+	for i, q := range qs {
+		dst[i] = f(q.ScaleOut)
+	}
+	return nil
+}
+
+// supportedPredictor adds configurable support reporting.
+type supportedPredictor struct {
+	funcPredictor
+	pretrained bool
+	samples    int
+}
+
+func (s supportedPredictor) Pretrained() bool     { return s.pretrained }
+func (s supportedPredictor) FinetuneSamples() int { return s.samples }
+
+func testProps() ([]encoding.Property, []encoding.Property) {
+	ess := []encoding.Property{
+		{Name: "dataset_size_mb", Value: "10000"},
+		{Name: "dataset_characteristics", Value: "uniform"},
+		{Name: "job_parameters", Value: "--iterations 100"},
+		{Name: "node_type", Value: "m4.xlarge"},
+	}
+	opt := []encoding.Property{
+		{Name: "memory_mb", Value: "16384", Optional: true},
+		{Name: "cpu_cores", Value: "4", Optional: true},
+	}
+	return ess, opt
+}
+
+// ernestCurve is a well-behaved decreasing-then-flat runtime curve.
+func ernestCurve(scaleOut int) float64 {
+	x := float64(scaleOut)
+	return 30 + 400/x + 2*math.Log(x)
+}
+
+func baseRequest() Request {
+	ess, opt := testProps()
+	return Request{
+		Essential:       ess,
+		Optional:        opt,
+		MinScaleOut:     1,
+		MaxScaleOut:     16,
+		DeadlineSec:     100,
+		CostPerNodeHour: 1,
+	}
+}
+
+func TestSmoothDecreasingPAVA(t *testing.T) {
+	e := NewEngine()
+	cases := []struct {
+		in, want []float64
+	}{
+		// Already monotone: untouched.
+		{[]float64{100, 80, 60, 40}, []float64{100, 80, 60, 40}},
+		// One upward jitter pools into its neighbor.
+		{[]float64{100, 50, 60, 30}, []float64{100, 55, 55, 30}},
+		// Fully increasing collapses to the global mean.
+		{[]float64{10, 20, 30}, []float64{20, 20, 20}},
+		{[]float64{42}, []float64{42}},
+	}
+	for ci, c := range cases {
+		curve := make([]CurvePoint, len(c.in))
+		for i, v := range c.in {
+			curve[i] = CurvePoint{ScaleOut: i + 1, PredictedSec: v}
+		}
+		e.smoothDecreasing(curve)
+		for i := range curve {
+			if math.Abs(curve[i].SmoothedSec-c.want[i]) > 1e-12 {
+				t.Errorf("case %d: smoothed[%d] = %v, want %v", ci, i, curve[i].SmoothedSec, c.want[i])
+			}
+			if i > 0 && curve[i].SmoothedSec > curve[i-1].SmoothedSec+1e-12 {
+				t.Errorf("case %d: smoothed curve increases at %d", ci, i)
+			}
+		}
+	}
+}
+
+func TestAllocateCheapestFeasible(t *testing.T) {
+	e := NewEngine()
+	req := baseRequest()
+	req.DeadlineSec = 100 // ernestCurve drops below 100 around scale-out 6
+	res, err := e.Allocate(funcPredictor(ernestCurve), req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if !res.Feasible || res.Fallback || res.Source != SourceModel {
+		t.Fatalf("result flags = %+v, want feasible model result", res)
+	}
+	if len(res.Curve) != 16 {
+		t.Fatalf("curve has %d points, want 16", len(res.Curve))
+	}
+	// Independently compute the cheapest SLO-satisfying candidate.
+	best, bestCost := -1, 0.0
+	for x := 1; x <= 16; x++ {
+		rt := ernestCurve(x)
+		if rt > req.DeadlineSec {
+			continue
+		}
+		cost := float64(x) * rt / 3600
+		if best < 0 || cost < bestCost {
+			best, bestCost = x, cost
+		}
+	}
+	if res.Chosen.ScaleOut != best {
+		t.Fatalf("chose scale-out %d, want %d", res.Chosen.ScaleOut, best)
+	}
+	if !res.Chosen.MeetsSLO {
+		t.Fatal("chosen point not marked MeetsSLO")
+	}
+	if res.MarginSec <= 0 || math.Abs(res.MarginSec-(req.DeadlineSec-res.Chosen.SmoothedSec)) > 1e-9 {
+		t.Fatalf("margin %v inconsistent with deadline %v and runtime %v",
+			res.MarginSec, req.DeadlineSec, res.Chosen.SmoothedSec)
+	}
+}
+
+func TestAllocateImpossibleDeadline(t *testing.T) {
+	e := NewEngine()
+	req := baseRequest()
+	req.DeadlineSec = 1 // nothing is this fast
+	res, err := e.Allocate(funcPredictor(ernestCurve), req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if res.Feasible {
+		t.Fatal("impossible deadline reported feasible")
+	}
+	if res.MarginSec >= 0 {
+		t.Fatalf("margin %v, want negative for a violated SLO", res.MarginSec)
+	}
+	// Best effort: the fastest smoothed candidate (cheapest among ties).
+	best := res.Curve[0]
+	for _, cp := range res.Curve[1:] {
+		if cp.SmoothedSec < best.SmoothedSec ||
+			(cp.SmoothedSec == best.SmoothedSec && cp.Cost < best.Cost) {
+			best = cp
+		}
+	}
+	if res.Chosen != best {
+		t.Fatalf("best-effort chose %+v, want %+v", res.Chosen, best)
+	}
+	for _, cp := range res.Curve {
+		if cp.MeetsSLO {
+			t.Fatalf("candidate %d marked MeetsSLO under an impossible deadline", cp.ScaleOut)
+		}
+	}
+}
+
+func TestAllocateSafetyMargin(t *testing.T) {
+	e := NewEngine()
+	req := baseRequest()
+	// flat curve at 90s, deadline 100: feasible without margin, not with 20%.
+	flat := funcPredictor(func(int) float64 { return 90 })
+	res, err := e.Allocate(flat, req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("flat 90s curve infeasible under a 100s deadline")
+	}
+	req.SafetyMargin = 0.2
+	res, err = e.Allocate(flat, req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if res.Feasible {
+		t.Fatal("90s runtime satisfies a 100s deadline with 20% margin (effective 80s)")
+	}
+}
+
+func TestAllocateJitterySweepStable(t *testing.T) {
+	// A sweep that jitters around the deadline: raw feasibility flips
+	// point to point, the smoothed curve crosses once.
+	jitter := funcPredictor(func(x int) float64 {
+		base := ernestCurve(x)
+		if x%2 == 0 {
+			return base * 1.08
+		}
+		return base * 0.92
+	})
+	e := NewEngine()
+	req := baseRequest()
+	res, err := e.Allocate(jitter, req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	crossings := 0
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].MeetsSLO != res.Curve[i-1].MeetsSLO {
+			crossings++
+		}
+	}
+	if crossings > 1 {
+		t.Fatalf("smoothed feasibility crosses the deadline %d times, want at most once", crossings)
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i].SmoothedSec > res.Curve[i-1].SmoothedSec+1e-12 {
+			t.Fatalf("smoothed curve increases at index %d", i)
+		}
+	}
+}
+
+func TestAllocateExplicitCandidates(t *testing.T) {
+	e := NewEngine()
+	req := baseRequest()
+	req.Candidates = []int{2, 4, 8, 12}
+	res, err := e.Allocate(funcPredictor(ernestCurve), req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if len(res.Curve) != 4 {
+		t.Fatalf("curve has %d points, want 4", len(res.Curve))
+	}
+	for i, want := range req.Candidates {
+		if res.Curve[i].ScaleOut != want {
+			t.Fatalf("curve[%d].ScaleOut = %d, want %d", i, res.Curve[i].ScaleOut, want)
+		}
+	}
+}
+
+func TestAllocateFallbackOnLowSupport(t *testing.T) {
+	// A "model" that would predict an absurd constant, reporting zero
+	// fine-tune samples; observations describe the true curve.
+	p := supportedPredictor{
+		funcPredictor: funcPredictor(func(int) float64 { return 1e9 }),
+		pretrained:    true,
+		samples:       0,
+	}
+	var obs []baselines.Point
+	for _, x := range []int{2, 4, 8, 16} {
+		obs = append(obs, baselines.Point{ScaleOut: x, Runtime: ernestCurve(x)})
+	}
+	e := NewEngine()
+	req := baseRequest()
+	req.MinModelSamples = 3
+	req.Observations = obs
+	res, err := e.Allocate(p, req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if !res.Fallback || res.Source != SourceInterp {
+		t.Fatalf("flags = fallback:%v source:%s, want interpolation fallback", res.Fallback, res.Source)
+	}
+	if !res.Feasible {
+		t.Fatal("interpolated curve infeasible under a satisfiable deadline")
+	}
+	// Without observations the model is used but flagged.
+	req.Observations = nil
+	res, err = e.Allocate(p, req)
+	if err != nil {
+		t.Fatalf("Allocate without observations: %v", err)
+	}
+	if res.Fallback || !res.LowSupport || res.Source != SourceModel {
+		t.Fatalf("flags = %+v, want low-support model result", res)
+	}
+	// Enough support: model trusted, no flags.
+	p.samples = 5
+	req.Observations = obs
+	res, err = e.Allocate(p, req)
+	if err != nil {
+		t.Fatalf("Allocate with support: %v", err)
+	}
+	if res.Fallback || res.LowSupport {
+		t.Fatalf("flags = %+v, want trusted model result", res)
+	}
+}
+
+func TestAllocateUntrainedModelFallsBack(t *testing.T) {
+	// Neither pre-trained nor fine-tuned: distrusted even without an
+	// explicit MinModelSamples.
+	p := supportedPredictor{funcPredictor: funcPredictor(func(int) float64 { return 1 })}
+	e := NewEngine()
+	req := baseRequest()
+	req.Observations = []baselines.Point{{ScaleOut: 2, Runtime: 200}, {ScaleOut: 8, Runtime: 60}}
+	res, err := e.Allocate(p, req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if !res.Fallback {
+		t.Fatal("untrained model was trusted over available observations")
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	e := NewEngine()
+	p := funcPredictor(ernestCurve)
+	cases := []func(*Request){
+		func(r *Request) { r.MinScaleOut = 0 },
+		func(r *Request) { r.MaxScaleOut = r.MinScaleOut - 1 },
+		func(r *Request) { r.Step = -2 },
+		func(r *Request) { r.DeadlineSec = 0 },
+		func(r *Request) { r.CostPerNodeHour = -1 },
+		func(r *Request) { r.SafetyMargin = 1 },
+		func(r *Request) { r.SafetyMargin = -0.1 },
+		func(r *Request) { r.MinScaleOut, r.MaxScaleOut = 1, MaxCandidates+1 },
+		func(r *Request) { r.Candidates = []int{4, 2} },
+		func(r *Request) { r.Candidates = []int{0, 2} },
+	}
+	for i, mutate := range cases {
+		req := baseRequest()
+		mutate(&req)
+		if _, err := e.Allocate(p, req); err == nil {
+			t.Errorf("case %d: invalid request accepted", i)
+		}
+	}
+}
+
+// TestAllocateZeroAllocWarm is the acceptance pin of the hot path: a
+// 64-candidate sweep against a warm model, on a warm engine, performs
+// zero allocations per call.
+func TestAllocateZeroAllocWarm(t *testing.T) {
+	m := trainedModel(t, 1)
+	ess, opt := testProps()
+	e := NewEngine()
+	req := Request{
+		Essential:       ess,
+		Optional:        opt,
+		MinScaleOut:     1,
+		MaxScaleOut:     64,
+		DeadlineSec:     200,
+		CostPerNodeHour: 0.5,
+	}
+	var res Result
+	if err := e.AllocateInto(&res, m, req); err != nil { // warm all buffers
+		t.Fatalf("AllocateInto: %v", err)
+	}
+	if len(res.Curve) != 64 {
+		t.Fatalf("curve has %d points, want 64", len(res.Curve))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := e.AllocateInto(&res, m, req); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm 64-candidate Allocate allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestFromPointPredictor(t *testing.T) {
+	ernest := baselines.NewErnest()
+	var pts []baselines.Point
+	for _, x := range []int{2, 4, 8, 12} {
+		pts = append(pts, baselines.Point{ScaleOut: x, Runtime: ernestCurve(x)})
+	}
+	if err := ernest.Fit(pts); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	e := NewEngine()
+	req := baseRequest()
+	res, err := e.Allocate(FromPointPredictor(ernest), req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("Ernest-backed allocation infeasible under a satisfiable deadline")
+	}
+	for _, cp := range res.Curve {
+		if cp.PredictedSec < 0 {
+			t.Fatalf("adapter leaked a negative prediction at scale-out %d", cp.ScaleOut)
+		}
+	}
+}
+
+// trainedModel pre-trains a small model on an Ernest-style curve,
+// memoized per seed across tests and benchmarks.
+func trainedModel(t testing.TB, seed int64) *core.Model {
+	cfg := core.DefaultConfig()
+	cfg.PropertySize = 16
+	cfg.EncodingDim = 3
+	cfg.EncoderHidden = 6
+	cfg.ScaleOutHidden = 8
+	cfg.ScaleOutDim = 4
+	cfg.PredictorHidden = 6
+	cfg.PretrainEpochs = 25
+	cfg.Seed = seed
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var samples []core.Sample
+	for c := 0; c < 2; c++ {
+		factor := 1 + 0.4*float64(c)
+		for _, x := range []int{2, 4, 6, 8, 10, 12} {
+			samples = append(samples, core.Sample{
+				ScaleOut: x,
+				Essential: []encoding.Property{
+					{Name: "dataset_size_mb", Value: strconv.Itoa(10000 + c*4000)},
+					{Name: "dataset_characteristics", Value: "uniform"},
+					{Name: "job_parameters", Value: "--iterations 100"},
+					{Name: "node_type", Value: "m4.xlarge"},
+				},
+				Optional: []encoding.Property{
+					{Name: "memory_mb", Value: "16384", Optional: true},
+					{Name: "cpu_cores", Value: "4", Optional: true},
+				},
+				RuntimeSec: factor * ernestCurve(x),
+			})
+		}
+	}
+	if _, err := m.Pretrain(samples); err != nil {
+		t.Fatalf("Pretrain: %v", err)
+	}
+	return m
+}

@@ -1,0 +1,48 @@
+package allocate
+
+// smoothDecreasing writes the least-squares non-increasing fit of the
+// PredictedSec column into the SmoothedSec column, via the classic pool
+// adjacent violators algorithm (PAVA) run on the reversed sequence
+// (non-increasing in scale-out == non-decreasing right-to-left). Block
+// scratch lives on the engine, so a warm call allocates nothing. All
+// points weigh equally, so a block's weight is just its length.
+//
+// A perfectly monotone input passes through unchanged, so the smoothing
+// only intervenes where the raw sweep actually jitters upward.
+func (e *Engine) smoothDecreasing(curve []CurvePoint) {
+	n := len(curve)
+	if n == 0 {
+		return
+	}
+	if cap(e.blockMean) < n {
+		e.blockMean = make([]float64, n)
+		e.blockLen = make([]int, n)
+	}
+	mean, length := e.blockMean[:0], e.blockLen[:0]
+
+	// Right-to-left: the fitted values must be non-decreasing in this
+	// direction. Each stack block holds the mean of a maximal pooled run.
+	for i := n - 1; i >= 0; i-- {
+		mean = append(mean, curve[i].PredictedSec)
+		length = append(length, 1)
+		// Pool while the new (smaller-scale-out) block is below its
+		// predecessor: runtime at fewer nodes must not be smaller than
+		// runtime at more nodes in the fitted curve.
+		for k := len(mean) - 1; k > 0 && mean[k] < mean[k-1]; k-- {
+			total := length[k] + length[k-1]
+			mean[k-1] = (mean[k]*float64(length[k]) + mean[k-1]*float64(length[k-1])) / float64(total)
+			length[k-1] = total
+			mean, length = mean[:k], length[:k]
+		}
+	}
+
+	// Expand blocks back onto the curve. Blocks were pushed from the
+	// right, so block 0 covers the rightmost run.
+	i := n
+	for k := 0; k < len(mean); k++ {
+		for j := 0; j < length[k]; j++ {
+			i--
+			curve[i].SmoothedSec = mean[k]
+		}
+	}
+}

@@ -84,7 +84,14 @@ func (m *Model) PredictBatchInto(dst []float64, queries []Query) error {
 	clear(samples)
 	st := m.forward(&m.inferB, false, false)
 	for i := range dst {
-		dst[i] = m.target.ToSeconds(st.pred.At(i, 0))
+		v := m.target.ToSeconds(st.pred.At(i, 0))
+		// The network is unconstrained and can denormalize to a negative
+		// runtime at extreme scale-outs; a runtime below zero is
+		// meaningless, so the prediction boundary floors it.
+		if v < 0 {
+			v = 0
+		}
+		dst[i] = v
 	}
 	return nil
 }

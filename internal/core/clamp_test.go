@@ -1,0 +1,132 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// forceNegativeOutput rigs the model so every forward pass denormalizes
+// to a negative runtime: all weights zeroed, the predictor's output bias
+// set below zero. This is exactly what an extreme-scale-out query can do
+// to a trained network, made deterministic.
+func forceNegativeOutput(t *testing.T, m *Model) {
+	t.Helper()
+	var bias *nn.Param
+	for _, p := range m.Params() {
+		p.Value.Zero()
+		if p.Name == "z.l2.b" {
+			bias = p
+		}
+	}
+	if bias == nil {
+		t.Fatal("predictor output bias z.l2.b not found")
+	}
+	bias.Value.Set(0, 0, -2)
+}
+
+// TestPredictClampsNegativeRuntimes pins the denormalization floor: the
+// network can emit negative scaled outputs, but Predict and
+// PredictBatch must never report a negative runtime in seconds.
+func TestPredictClampsNegativeRuntimes(t *testing.T) {
+	m, err := New(testConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	forceNegativeOutput(t, m)
+
+	s := syntheticSamples(1, []int{2})[0]
+	got, err := m.Predict(64, s.Essential, s.Optional)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("Predict = %v for a forced-negative network, want clamped 0", got)
+	}
+
+	queries := make([]Query, 4)
+	for i := range queries {
+		queries[i] = Query{ScaleOut: 2 + 30*i, Essential: s.Essential, Optional: s.Optional}
+	}
+	preds, err := m.PredictBatch(queries)
+	if err != nil {
+		t.Fatalf("PredictBatch: %v", err)
+	}
+	for i, v := range preds {
+		if v != 0 {
+			t.Fatalf("PredictBatch[%d] = %v, want clamped 0", i, v)
+		}
+	}
+}
+
+// TestTrainedPredictionsNonNegative sweeps a trained model far outside
+// its training range: whatever the network extrapolates to, the
+// prediction boundary must keep it non-negative.
+func TestTrainedPredictionsNonNegative(t *testing.T) {
+	cfg := testConfig()
+	cfg.PretrainEpochs = 25
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Pretrain(syntheticSamples(2, []int{2, 4, 6, 8})); err != nil {
+		t.Fatalf("Pretrain: %v", err)
+	}
+	s := syntheticSamples(1, []int{2})[0]
+	for x := 1; x <= 512; x *= 2 {
+		v, err := m.Predict(x, s.Essential, s.Optional)
+		if err != nil {
+			t.Fatalf("Predict(%d): %v", x, err)
+		}
+		if v < 0 {
+			t.Fatalf("Predict(%d) = %v, want >= 0", x, v)
+		}
+	}
+}
+
+// TestFinetuneSamplesTracked pins the support provenance the allocation
+// fallback relies on: fresh and loaded models report zero, Finetune
+// records its sample count, Clone carries it over.
+func TestFinetuneSamplesTracked(t *testing.T) {
+	cfg := testConfig()
+	cfg.PretrainEpochs = 15
+	cfg.FinetuneEpochs = 10
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := m.FinetuneSamples(); got != 0 {
+		t.Fatalf("fresh model FinetuneSamples = %d, want 0", got)
+	}
+	if _, err := m.Pretrain(syntheticSamples(2, []int{2, 4, 6, 8})); err != nil {
+		t.Fatalf("Pretrain: %v", err)
+	}
+	samples := syntheticSamples(1, []int{2, 4, 6})
+	if _, err := m.Finetune(samples, FinetuneOptions{Strategy: StrategyPartialUnfreeze}); err != nil {
+		t.Fatalf("Finetune: %v", err)
+	}
+	if got := m.FinetuneSamples(); got != len(samples) {
+		t.Fatalf("FinetuneSamples = %d, want %d", got, len(samples))
+	}
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	if got := c.FinetuneSamples(); got != len(samples) {
+		t.Fatalf("clone FinetuneSamples = %d, want %d", got, len(samples))
+	}
+	// The support survives serialization: a model fine-tuned offline
+	// keeps its sample count when served from disk.
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := loaded.FinetuneSamples(); got != len(samples) {
+		t.Fatalf("loaded FinetuneSamples = %d, want %d", got, len(samples))
+	}
+}

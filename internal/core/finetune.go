@@ -142,6 +142,7 @@ func (m *Model) Finetune(samples []Sample, opts FinetuneOptions) (*TrainReport, 
 	}
 	report.BestMAE, report.BestEpoch = stopper.Best()
 	report.Duration = time.Since(start)
+	m.finetuneSamples = len(samples)
 	return report, nil
 }
 

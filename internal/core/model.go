@@ -45,6 +45,11 @@ type Model struct {
 	scratchPred    [1]float64
 
 	pretrained bool
+	// finetuneSamples is the sample count of the last Finetune on this
+	// model — the context support the allocation engine's fallback
+	// decision consults. It survives Clone and Save/Load, so a model
+	// fine-tuned offline keeps its support when served from disk.
+	finetuneSamples int
 }
 
 // New builds an initialized (untrained) Bellamy model.
@@ -112,6 +117,10 @@ func (m *Model) componentParams(name string) []*nn.Param {
 
 // Pretrained reports whether the model went through Pretrain.
 func (m *Model) Pretrained() bool { return m.pretrained }
+
+// FinetuneSamples reports how many samples the last Finetune on this
+// model used (0 when it was never fine-tuned).
+func (m *Model) FinetuneSamples() int { return m.finetuneSamples }
 
 // batch is the matrix representation of a set of samples. Its buffers
 // are long-lived and refilled in place, so rebuilding a batch of an

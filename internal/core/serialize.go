@@ -10,15 +10,18 @@ import (
 	"repro/internal/nn"
 )
 
-// modelBlob is the gob wire format for a saved Bellamy model.
+// modelBlob is the gob wire format for a saved Bellamy model. Fields
+// added over time decode as their zero value from older blobs (gob
+// skips absent fields), so old model files stay loadable.
 type modelBlob struct {
-	Cfg        Config
-	State      nn.State
-	NormMin    []float64
-	NormMax    []float64
-	NormFitted bool
-	Scale      float64
-	Pretrained bool
+	Cfg             Config
+	State           nn.State
+	NormMin         []float64
+	NormMax         []float64
+	NormFitted      bool
+	Scale           float64
+	Pretrained      bool
+	FinetuneSamples int
 }
 
 // Save writes the model to w (config, weights, normalization bounds,
@@ -26,13 +29,14 @@ type modelBlob struct {
 // are preserved and later loaded for fine-tuning.
 func (m *Model) Save(w io.Writer) error {
 	blob := modelBlob{
-		Cfg:        m.Cfg,
-		State:      nn.CaptureState(m.Params()),
-		NormMin:    m.norm.Min,
-		NormMax:    m.norm.Max,
-		NormFitted: m.norm.Fitted(),
-		Scale:      m.target.Scale,
-		Pretrained: m.pretrained,
+		Cfg:             m.Cfg,
+		State:           nn.CaptureState(m.Params()),
+		NormMin:         m.norm.Min,
+		NormMax:         m.norm.Max,
+		NormFitted:      m.norm.Fitted(),
+		Scale:           m.target.Scale,
+		Pretrained:      m.pretrained,
+		FinetuneSamples: m.finetuneSamples,
 	}
 	if err := gob.NewEncoder(w).Encode(blob); err != nil {
 		return fmt.Errorf("core: encoding model: %w", err)
@@ -59,6 +63,7 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	m.target = &TargetScaler{Scale: blob.Scale}
 	m.pretrained = blob.Pretrained
+	m.finetuneSamples = blob.FinetuneSamples
 	return m, nil
 }
 
@@ -107,5 +112,6 @@ func (m *Model) Clone() (*Model, error) {
 	}
 	c.target = &TargetScaler{Scale: m.target.Scale}
 	c.pretrained = m.pretrained
+	c.finetuneSamples = m.finetuneSamples
 	return c, nil
 }

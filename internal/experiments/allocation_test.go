@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// tinyAllocationConfig shrinks the experiment to a smoke-test budget:
+// one job, one target context, a handful of splits, tiny model.
+func tinyAllocationConfig() AllocationConfig {
+	cfg := DefaultAllocationConfig()
+	cfg.Jobs = []string{"sort"}
+	cfg.ContextsPerJob = 1
+	cfg.MaxSplits = 2
+	cfg.PointCounts = []int{2}
+	cfg.DeadlineFactors = []float64{1.5}
+	cfg.Workers = 1
+
+	m := core.DefaultConfig()
+	m.PropertySize = 16
+	m.EncodingDim = 3
+	m.EncoderHidden = 6
+	m.ScaleOutHidden = 8
+	m.ScaleOutDim = 4
+	m.PredictorHidden = 6
+	m.PretrainEpochs = 3
+	m.FinetuneEpochs = 10
+	m.FinetunePatience = 5
+	cfg.Model = m
+	return cfg
+}
+
+func TestRunAllocationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pre-trains a model; skipped in -short")
+	}
+	ds := dataset.GenerateC3O(dataset.SimConfig{Seed: 7, Repeats: 2})
+	cfg := tinyAllocationConfig()
+	res, err := RunAllocation(ds, cfg)
+	if err != nil {
+		t.Fatalf("RunAllocation: %v", err)
+	}
+	if len(res.Measurements) == 0 {
+		t.Fatal("experiment produced no measurements")
+	}
+	methods := map[Method]bool{}
+	for _, m := range res.Measurements {
+		methods[m.Method] = true
+		if m.Job != "sort" {
+			t.Fatalf("measurement for unexpected job %q", m.Job)
+		}
+		if m.OracleFeasible && !m.Violated && m.Regret < 0 {
+			t.Fatalf("negative regret %v: chosen config cheaper than the oracle", m.Regret)
+		}
+	}
+	for _, want := range []Method{MethodNNLS, MethodBell, MethodBellamyFull} {
+		if !methods[want] {
+			t.Fatalf("method %s missing from measurements", want)
+		}
+	}
+	table := FormatAllocationTable(res.Measurements)
+	if !strings.Contains(table, "sort") || !strings.Contains(table, "nnls") {
+		t.Fatalf("allocation table missing expected rows/columns:\n%s", table)
+	}
+}
+
+func TestOracleChoice(t *testing.T) {
+	candidates := []int{2, 4, 8}
+	runtime := map[int]float64{2: 300, 4: 150, 8: 100}
+	// Deadline 200: feasible at 4 (cost 4*150) and 8 (cost 8*100);
+	// cheapest is 4.
+	cost, ok := oracleChoice(candidates, runtime, 200, 1)
+	if !ok {
+		t.Fatal("deadline 200 reported infeasible")
+	}
+	if want := 4.0 * 150 / 3600; cost != want {
+		t.Fatalf("oracle cost = %v, want %v", cost, want)
+	}
+	if _, ok := oracleChoice(candidates, runtime, 50, 1); ok {
+		t.Fatal("deadline 50 reported feasible")
+	}
+}
+
+func TestRunAllocationValidation(t *testing.T) {
+	ds := dataset.GenerateC3O(dataset.SimConfig{Seed: 1, Repeats: 2})
+	cfg := tinyAllocationConfig()
+	cfg.PointCounts = []int{0}
+	if _, err := RunAllocation(ds, cfg); err == nil {
+		t.Fatal("PointCounts {0} accepted")
+	}
+	cfg = tinyAllocationConfig()
+	cfg.DeadlineFactors = nil
+	if _, err := RunAllocation(ds, cfg); err == nil {
+		t.Fatal("empty DeadlineFactors accepted")
+	}
+	cfg = tinyAllocationConfig()
+	cfg.CostPerNodeHour = 0
+	if _, err := RunAllocation(ds, cfg); err == nil {
+		t.Fatal("zero CostPerNodeHour accepted")
+	}
+}

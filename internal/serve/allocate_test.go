@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/allocate"
+	"repro/internal/baselines"
+)
+
+func wireAllocateRequest(deadline float64) allocateRequestJSON {
+	pr := wireRequest(4, 10000)
+	return allocateRequestJSON{
+		Job:             pr.Job,
+		Env:             pr.Env,
+		Essential:       pr.Essential,
+		Optional:        pr.Optional,
+		MinScaleOut:     2,
+		MaxScaleOut:     16,
+		DeadlineSec:     deadline,
+		CostPerNodeHour: 0.5,
+	}
+}
+
+// TestHTTPAllocate is the end-to-end acceptance check of the allocation
+// subsystem: a /v1/allocate request against a trained model returns the
+// cheapest SLO-satisfying scale-out of the smoothed curve.
+func TestHTTPAllocate(t *testing.T) {
+	srv, svc := newTestServer(t)
+
+	var out allocateResponseJSON
+	code := postJSON(t, srv.URL+"/v1/allocate", wireAllocateRequest(200), &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if out.Error != "" || !out.Feasible {
+		t.Fatalf("response = %+v, want a feasible allocation", out)
+	}
+	if out.ScaleOut < 2 || out.ScaleOut > 16 {
+		t.Fatalf("chosen scale-out %d outside candidate range [2, 16]", out.ScaleOut)
+	}
+	if len(out.Curve) != 15 {
+		t.Fatalf("curve has %d points, want 15", len(out.Curve))
+	}
+	if out.Source != string(allocate.SourceModel) {
+		t.Fatalf("source = %q, want model", out.Source)
+	}
+	// Verify the choice against the returned curve: cheapest point that
+	// meets the SLO.
+	best, bestCost := -1, 0.0
+	for _, cp := range out.Curve {
+		if !cp.MeetsSLO {
+			continue
+		}
+		if best < 0 || cp.Cost < bestCost {
+			best, bestCost = cp.ScaleOut, cp.Cost
+		}
+	}
+	if out.ScaleOut != best {
+		t.Fatalf("chose scale-out %d, curve says cheapest feasible is %d", out.ScaleOut, best)
+	}
+	for i := 1; i < len(out.Curve); i++ {
+		if out.Curve[i].SmoothedSec > out.Curve[i-1].SmoothedSec+1e-9 {
+			t.Fatalf("smoothed curve increases at index %d", i)
+		}
+	}
+	if out.MarginSec <= 0 {
+		t.Fatalf("margin %v, want positive for a feasible allocation", out.MarginSec)
+	}
+
+	st := svc.Stats()
+	if st.Alloc.Requests != 1 || st.Alloc.Violations != 0 || st.Alloc.Errors != 0 {
+		t.Fatalf("alloc stats = %+v, want one clean request", st.Alloc)
+	}
+}
+
+// TestHTTPAllocateImpossibleDeadline pins the violation path: an
+// unreachable deadline reports infeasibility plus the best-effort
+// configuration instead of failing.
+func TestHTTPAllocateImpossibleDeadline(t *testing.T) {
+	srv, svc := newTestServer(t)
+
+	var out allocateResponseJSON
+	code := postJSON(t, srv.URL+"/v1/allocate", wireAllocateRequest(0.01), &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200 (violation is a result, not an error)", code)
+	}
+	if out.Error != "" || out.Feasible {
+		t.Fatalf("response = %+v, want an infeasible best-effort result", out)
+	}
+	if out.ScaleOut == 0 {
+		t.Fatal("violation response carries no best-effort configuration")
+	}
+	if out.MarginSec >= 0 {
+		t.Fatalf("margin %v, want negative under a violated SLO", out.MarginSec)
+	}
+	// Best effort must be the fastest point of the smoothed curve.
+	for _, cp := range out.Curve {
+		if cp.SmoothedSec < out.PredictedSec-1e-9 {
+			t.Fatalf("best-effort %v slower than candidate %d at %v",
+				out.PredictedSec, cp.ScaleOut, cp.SmoothedSec)
+		}
+	}
+	if st := svc.Stats(); st.Alloc.Violations != 1 {
+		t.Fatalf("alloc violations = %d, want 1", st.Alloc.Violations)
+	}
+}
+
+// TestHTTPAllocateBadRequest pins the error paths: malformed requests
+// are 400s and counted, never 200s with garbage.
+func TestHTTPAllocateBadRequest(t *testing.T) {
+	srv, svc := newTestServer(t)
+
+	missing := wireAllocateRequest(100)
+	missing.Job = ""
+	var out allocateResponseJSON
+	if code := postJSON(t, srv.URL+"/v1/allocate", missing, &out); code != http.StatusBadRequest {
+		t.Fatalf("missing job: status %d, want 400", code)
+	}
+
+	bad := wireAllocateRequest(100)
+	bad.DeadlineSec = -5
+	if code := postJSON(t, srv.URL+"/v1/allocate", bad, &out); code != http.StatusBadRequest {
+		t.Fatalf("negative deadline: status %d, want 400", code)
+	}
+	if out.Error == "" {
+		t.Fatal("bad request carried no error message")
+	}
+
+	badRange := wireAllocateRequest(100)
+	badRange.MinScaleOut, badRange.MaxScaleOut = 10, 2
+	if code := postJSON(t, srv.URL+"/v1/allocate", badRange, &out); code != http.StatusBadRequest {
+		t.Fatalf("inverted range: status %d, want 400", code)
+	}
+	if st := svc.Stats(); st.Alloc.Errors != 2 {
+		t.Fatalf("alloc errors = %d, want 2 (decode-level failures don't reach the engine)", st.Alloc.Errors)
+	}
+}
+
+// TestHTTPAllocateModelUnavailable pins the load-failure status: a model
+// that cannot be materialized is a 404, not a 400 — the request itself
+// is fine and may succeed once the model file appears.
+func TestHTTPAllocateModelUnavailable(t *testing.T) {
+	cl := &countingLoader{t: t}
+	key := ModelKey{Job: "sort", Env: "c3o"}
+	cl.failNext(key, 1000)
+	svc := NewService(cl.load, Options{})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	var out allocateResponseJSON
+	if code := postJSON(t, srv.URL+"/v1/allocate", wireAllocateRequest(100), &out); code != http.StatusNotFound {
+		t.Fatalf("unloadable model: status %d, want 404", code)
+	}
+	if out.Error == "" {
+		t.Fatal("unloadable model carried no error message")
+	}
+	if st := svc.Stats(); st.Alloc.Errors != 1 {
+		t.Fatalf("alloc errors = %d, want 1", st.Alloc.Errors)
+	}
+}
+
+// TestServiceAllocateFallback exercises the low-support fallback through
+// the service: a freshly loaded model reports zero fine-tune samples, so
+// a request demanding support falls back to interpolating observations.
+func TestServiceAllocateFallback(t *testing.T) {
+	cl := &countingLoader{t: t}
+	svc := NewService(cl.load, Options{})
+	key := ModelKey{Job: "sort", Env: "c3o"}
+	q := testQuery(4, 10000)
+
+	req := allocate.Request{
+		Essential:       q.Essential,
+		Optional:        q.Optional,
+		MinScaleOut:     2,
+		MaxScaleOut:     12,
+		DeadlineSec:     500,
+		CostPerNodeHour: 1,
+		MinModelSamples: 3,
+	}
+	for _, x := range []int{2, 6, 12} {
+		rt, err := func() (float64, error) {
+			sm, err := svc.Registry().Get(key)
+			if err != nil {
+				return 0, err
+			}
+			return sm.Predict(testQuery(x, 10000))
+		}()
+		if err != nil {
+			t.Fatalf("reference predict: %v", err)
+		}
+		req.Observations = append(req.Observations, baselines.Point{ScaleOut: x, Runtime: rt})
+	}
+	res, err := svc.Allocate(key, req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if !res.Fallback || res.Source != allocate.SourceInterp {
+		t.Fatalf("result = %+v, want interpolation fallback for an unsupported model", res)
+	}
+	if st := svc.Stats(); st.Alloc.Fallbacks != 1 {
+		t.Fatalf("alloc fallbacks = %d, want 1", st.Alloc.Fallbacks)
+	}
+
+	// Without the support demand the model answers directly.
+	req.MinModelSamples = 0
+	res, err = svc.Allocate(key, req)
+	if err != nil {
+		t.Fatalf("Allocate without support demand: %v", err)
+	}
+	if res.Fallback {
+		t.Fatal("supported request fell back anyway")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/allocate"
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/encoding"
 )
@@ -45,6 +47,57 @@ type observeResponseJSON struct {
 	Error    string `json:"error,omitempty"`
 }
 
+// observationPointJSON is the wire form of one measured
+// (scale-out, runtime) point feeding the allocation fallback.
+type observationPointJSON struct {
+	ScaleOut   int     `json:"scale_out"`
+	RuntimeSec float64 `json:"runtime_sec"`
+}
+
+// allocateRequestJSON is the wire form of POST /v1/allocate.
+type allocateRequestJSON struct {
+	Job       string         `json:"job"`
+	Env       string         `json:"env"`
+	Essential []propertyJSON `json:"essential"`
+	Optional  []propertyJSON `json:"optional,omitempty"`
+
+	MinScaleOut int   `json:"min_scale_out"`
+	MaxScaleOut int   `json:"max_scale_out"`
+	Step        int   `json:"step,omitempty"`
+	Candidates  []int `json:"candidates,omitempty"`
+
+	DeadlineSec     float64 `json:"deadline_sec"`
+	CostPerNodeHour float64 `json:"cost_per_node_hour"`
+	SafetyMargin    float64 `json:"safety_margin,omitempty"`
+
+	MinModelSamples int                    `json:"min_model_samples,omitempty"`
+	Observations    []observationPointJSON `json:"observations,omitempty"`
+}
+
+// curvePointJSON is the wire form of one annotated sweep candidate.
+type curvePointJSON struct {
+	ScaleOut     int     `json:"scale_out"`
+	PredictedSec float64 `json:"predicted_sec"`
+	SmoothedSec  float64 `json:"smoothed_sec"`
+	Cost         float64 `json:"cost"`
+	MeetsSLO     bool    `json:"meets_slo"`
+}
+
+// allocateResponseJSON is the wire form of one allocation decision.
+type allocateResponseJSON struct {
+	ScaleOut     int              `json:"scale_out,omitempty"`
+	PredictedSec float64          `json:"predicted_sec,omitempty"`
+	Cost         float64          `json:"cost,omitempty"`
+	Feasible     bool             `json:"feasible"`
+	Fallback     bool             `json:"fallback,omitempty"`
+	LowSupport   bool             `json:"low_support,omitempty"`
+	Source       string           `json:"source,omitempty"`
+	MarginSec    float64          `json:"margin_sec,omitempty"`
+	MarginFrac   float64          `json:"margin_frac,omitempty"`
+	Curve        []curvePointJSON `json:"curve,omitempty"`
+	Error        string           `json:"error,omitempty"`
+}
+
 // batchRequestJSON wraps the requests of POST /v1/predict/batch.
 type batchRequestJSON struct {
 	Requests []predictRequestJSON `json:"requests"`
@@ -69,7 +122,17 @@ type statsJSON struct {
 	ModelLoadErrors int64          `json:"model_load_errors"`
 	ModelEvictions  int64          `json:"model_evictions"`
 	ModelSwaps      int64          `json:"model_swaps,omitempty"`
+	Alloc           allocStatsJSON `json:"alloc"`
 	Lifecycle       *lifecycleJSON `json:"lifecycle,omitempty"`
+}
+
+// allocStatsJSON is the wire form of the allocation counters.
+type allocStatsJSON struct {
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	Violations      int64   `json:"violations"`
+	Fallbacks       int64   `json:"fallbacks"`
+	MeanLatencyUsec float64 `json:"mean_latency_usec"`
 }
 
 // lifecycleJSON is the wire form of the online-learning counters.
@@ -103,6 +166,57 @@ func toResponseJSON(r Response) predictResponseJSON {
 		return predictResponseJSON{Error: r.Err.Error()}
 	}
 	return predictResponseJSON{RuntimeSec: r.RuntimeSec, Cached: r.Cached}
+}
+
+func toAllocateRequest(in allocateRequestJSON) (ModelKey, allocate.Request, error) {
+	if in.Job == "" {
+		return ModelKey{}, allocate.Request{}, fmt.Errorf("serve: request missing job")
+	}
+	req := allocate.Request{
+		MinScaleOut:     in.MinScaleOut,
+		MaxScaleOut:     in.MaxScaleOut,
+		Step:            in.Step,
+		Candidates:      in.Candidates,
+		DeadlineSec:     in.DeadlineSec,
+		CostPerNodeHour: in.CostPerNodeHour,
+		SafetyMargin:    in.SafetyMargin,
+		MinModelSamples: in.MinModelSamples,
+	}
+	for _, p := range in.Essential {
+		req.Essential = append(req.Essential, encoding.Property{Name: p.Name, Value: p.Value})
+	}
+	for _, p := range in.Optional {
+		req.Optional = append(req.Optional, encoding.Property{Name: p.Name, Value: p.Value, Optional: true})
+	}
+	for _, o := range in.Observations {
+		req.Observations = append(req.Observations, baselines.Point{ScaleOut: o.ScaleOut, Runtime: o.RuntimeSec})
+	}
+	return ModelKey{Job: in.Job, Env: in.Env}, req, nil
+}
+
+func toAllocateResponseJSON(res *allocate.Result) allocateResponseJSON {
+	out := allocateResponseJSON{
+		ScaleOut:     res.Chosen.ScaleOut,
+		PredictedSec: res.Chosen.SmoothedSec,
+		Cost:         res.Chosen.Cost,
+		Feasible:     res.Feasible,
+		Fallback:     res.Fallback,
+		LowSupport:   res.LowSupport,
+		Source:       string(res.Source),
+		MarginSec:    res.MarginSec,
+		MarginFrac:   res.MarginFrac,
+		Curve:        make([]curvePointJSON, len(res.Curve)),
+	}
+	for i, cp := range res.Curve {
+		out.Curve[i] = curvePointJSON{
+			ScaleOut:     cp.ScaleOut,
+			PredictedSec: cp.PredictedSec,
+			SmoothedSec:  cp.SmoothedSec,
+			Cost:         cp.Cost,
+			MeetsSLO:     cp.MeetsSLO,
+		}
+	}
+	return out
 }
 
 // maxBodyBytes bounds request bodies so one oversized POST cannot
@@ -170,6 +284,33 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
+		var in allocateRequestJSON
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		key, req, err := toAllocateRequest(in)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.Allocate(key, req)
+		if err != nil {
+			// An unloadable model is the server's (or deployment's)
+			// problem, not a malformed request: answer 404 so clients
+			// don't treat it as permanently invalid input.
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrModelUnavailable) {
+				code = http.StatusNotFound
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			_ = json.NewEncoder(w).Encode(allocateResponseJSON{Error: err.Error()})
+			return
+		}
+		writeJSON(w, toAllocateResponseJSON(res))
+	})
 	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
 		var in observeRequestJSON
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
@@ -215,6 +356,13 @@ func (s *Service) Handler() http.Handler {
 			ModelLoadErrors: st.Registry.LoadErrors,
 			ModelEvictions:  st.Registry.Evictions,
 			ModelSwaps:      st.Registry.Swaps,
+			Alloc: allocStatsJSON{
+				Requests:        st.Alloc.Requests,
+				Errors:          st.Alloc.Errors,
+				Violations:      st.Alloc.Violations,
+				Fallbacks:       st.Alloc.Fallbacks,
+				MeanLatencyUsec: float64(st.Alloc.MeanLatency.Nanoseconds()) / 1e3,
+			},
 		}
 		if ls, ok := s.lifecycleStats(); ok {
 			out.Lifecycle = &lifecycleJSON{

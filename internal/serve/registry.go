@@ -73,6 +73,24 @@ func (sm *Model) PredictBatchInto(dst []float64, qs []core.Query) error {
 // touching forward-pass state; it needs no lock.
 func (sm *Model) Validate(q core.Query) error { return sm.m.ValidateQuery(q) }
 
+// Pretrained implements allocate.SupportReporter.
+func (sm *Model) Pretrained() bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.m.Pretrained()
+}
+
+// FinetuneSamples implements allocate.SupportReporter: the fine-tune
+// support of the resident model version. A version installed by the
+// online lifecycle carries the sample count of the fine-tune that
+// produced it; a version loaded from disk carries whatever support was
+// serialized with it (0 for a purely pre-trained model).
+func (sm *Model) FinetuneSamples() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.m.FinetuneSamples()
+}
+
 // CloneCore deep-copies the underlying model under the serving lock, so
 // online fine-tuning can adapt a private copy while this model keeps
 // serving. The clone gets its own (empty) workspace; only weights and

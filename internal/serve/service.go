@@ -2,9 +2,12 @@ package serve
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/allocate"
 	"repro/internal/core"
 	"repro/internal/parallel"
 )
@@ -53,6 +56,24 @@ type Stats struct {
 	MeanLatency time.Duration
 	// Registry carries the model-registry counters.
 	Registry RegistryStats
+	// Alloc carries the resource-allocation counters.
+	Alloc AllocStats
+}
+
+// AllocStats is a snapshot of the allocation counters.
+type AllocStats struct {
+	// Requests counts Allocate calls that reached the engine.
+	Requests int64
+	// Errors counts Allocate calls that failed (bad request or model).
+	Errors int64
+	// Violations counts allocations where no candidate satisfied the
+	// SLO and a best-effort configuration was returned.
+	Violations int64
+	// Fallbacks counts allocations answered by the interpolation
+	// fallback instead of the model.
+	Fallbacks int64
+	// MeanLatency is the average wall-clock time per allocation.
+	MeanLatency time.Duration
 }
 
 // Observer ingests live runtime observations for online model
@@ -108,6 +129,11 @@ var ErrObserveDisabled = errors.New("serve: observation ingestion disabled")
 // can answer 429 instead of 400.
 var ErrObserveCapacity = errors.New("serve: observation capacity exhausted")
 
+// ErrModelUnavailable marks failures to materialize the requested model
+// (missing or corrupt model file, loader fault) as opposed to a
+// malformed request, so the HTTP layer can answer 404 instead of 400.
+var ErrModelUnavailable = errors.New("serve: model unavailable")
+
 // Service answers runtime predictions against a registry of models,
 // memoizing repeated queries and fanning batches across models. It is
 // safe for concurrent use.
@@ -118,18 +144,62 @@ type Service struct {
 
 	observer atomic.Pointer[Observer]
 
+	// engines pools allocation engines: each holds reusable sweep and
+	// smoothing buffers, so warm allocations don't churn memory even
+	// under concurrent traffic.
+	engines sync.Pool
+
 	requests, calls          atomic.Int64
 	resultHits, resultMisses atomic.Int64
 	latencyNS                atomic.Int64
+
+	allocCalls, allocErrors         atomic.Int64
+	allocViolations, allocFallbacks atomic.Int64
+	allocLatencyNS                  atomic.Int64
 }
 
 // NewService builds a service loading models through loader.
 func NewService(loader Loader, opts Options) *Service {
-	return &Service{
+	s := &Service{
 		reg:     NewRegistry(loader, opts.ModelCap),
 		results: newResultCache(opts.ResultCap),
 		workers: opts.Workers,
 	}
+	s.engines.New = func() any { return allocate.NewEngine() }
+	return s
+}
+
+// Allocate answers a resource-allocation query against key's model: one
+// batched sweep over the candidate scale-outs, isotonic smoothing, and
+// the cheapest-SLO-satisfying selection (see internal/allocate). The
+// model is resolved through GetRef, so an allocation always runs on the
+// latest hot-swapped version, and its reported fine-tune support drives
+// the engine's interpolation fallback.
+func (s *Service) Allocate(key ModelKey, req allocate.Request) (*allocate.Result, error) {
+	start := time.Now()
+	defer func() {
+		s.allocLatencyNS.Add(int64(time.Since(start)))
+		s.allocCalls.Add(1)
+	}()
+	ref, err := s.reg.GetRef(key)
+	if err != nil {
+		s.allocErrors.Add(1)
+		return nil, fmt.Errorf("%w: %w", ErrModelUnavailable, err)
+	}
+	e := s.engines.Get().(*allocate.Engine)
+	res, err := e.Allocate(ref.Model, req)
+	s.engines.Put(e)
+	if err != nil {
+		s.allocErrors.Add(1)
+		return nil, err
+	}
+	if !res.Feasible {
+		s.allocViolations.Add(1)
+	}
+	if res.Fallback {
+		s.allocFallbacks.Add(1)
+	}
+	return res, nil
 }
 
 // Registry exposes the underlying model registry (e.g. for warm-up).
@@ -336,6 +406,11 @@ func (s *Service) Stats() Stats {
 	if calls > 0 {
 		mean = time.Duration(s.latencyNS.Load() / calls)
 	}
+	allocCalls := s.allocCalls.Load()
+	var allocMean time.Duration
+	if allocCalls > 0 {
+		allocMean = time.Duration(s.allocLatencyNS.Load() / allocCalls)
+	}
 	return Stats{
 		Requests:       s.requests.Load(),
 		Calls:          calls,
@@ -344,5 +419,12 @@ func (s *Service) Stats() Stats {
 		ResultCacheLen: s.results.len(),
 		MeanLatency:    mean,
 		Registry:       s.reg.Stats(),
+		Alloc: AllocStats{
+			Requests:    allocCalls,
+			Errors:      s.allocErrors.Load(),
+			Violations:  s.allocViolations.Load(),
+			Fallbacks:   s.allocFallbacks.Load(),
+			MeanLatency: allocMean,
+		},
 	}
 }
