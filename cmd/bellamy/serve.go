@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/lifecycle"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func runServe(args []string) error {
@@ -23,6 +25,9 @@ func runServe(args []string) error {
 	ftWorkers := fs.Int("finetune-workers", 0, "concurrent fine-tunes (0 = NumCPU/4)")
 	ftBuffer := fs.Int("observe-buffer", lifecycle.DefaultBufferCap, "per-model observation ring capacity")
 	ftMaxKeys := fs.Int("observe-max-models", lifecycle.DefaultMaxKeys, "max distinct models holding observation buffers")
+	dataDir := fs.String("data-dir", "", "durable store directory (WAL + compacted segments + model checkpoints); empty disables durability")
+	fsyncMode := fs.String("fsync", "always", "WAL durability: always (every append), interval (batched), never (OS page cache)")
+	compactEvery := fs.Duration("compact-interval", store.DefaultCompactInterval, "period between WAL compactions into indexed segments")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -35,24 +40,74 @@ func runServe(args []string) error {
 		ResultCap: *resultCap,
 		Workers:   *workers,
 	})
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		st, err = store.Open(*dataDir, store.Options{
+			Fsync:           policy,
+			CompactInterval: *compactEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		// Checkpointed model versions take priority over the base model
+		// files, so a restarted node serves the exact fine-tuned versions
+		// (and version numbers) it crashed with.
+		svc.Registry().SetVersionedLoader(serve.CheckpointLoader(serve.DirLoader(*modelsDir), st))
+		svc.AttachStore(st)
+	}
 	if *observe {
-		ctl := lifecycle.New(svc.Registry(), lifecycle.Config{
+		cfg := lifecycle.Config{
 			MinSamples: *ftMinSamples,
 			Interval:   *ftInterval,
 			Workers:    *ftWorkers,
 			BufferCap:  *ftBuffer,
 			MaxKeys:    *ftMaxKeys,
-		})
+		}
+		if st != nil {
+			cfg.Log = st
+			cfg.Checkpoint = st
+		}
+		ctl := lifecycle.New(svc.Registry(), cfg)
 		ctl.OnSwap(func(key serve.ModelKey, version uint64) {
 			fmt.Printf("lifecycle: %s hot-swapped to v%d\n", key, version)
 		})
 		// AttachObserver also subscribes the result-cache invalidation,
 		// so memoized predictions never outlive a swapped model.
 		svc.AttachObserver(ctl)
+		if st != nil {
+			// Replay the durable history into the observation rings before
+			// accepting traffic: samples regain their freshness, digest
+			// markers suppress re-fine-tuning of already-checkpointed work.
+			err := st.Replay(store.ReplayHandler{
+				Observation: func(job, env string, s core.Sample, at time.Time) {
+					ctl.Restore(serve.ModelKey{Job: job, Env: env}, s, at)
+				},
+				Digest: func(job, env string, fresh int, at time.Time) {
+					ctl.RestoreDigest(serve.ModelKey{Job: job, Env: env})
+				},
+			})
+			if err != nil {
+				// A corrupt sealed segment stops replay at its clean
+				// prefix; serving continues on what was recovered.
+				fmt.Printf("store: replay stopped early: %v\n", err)
+			}
+			rs := st.StoreStats()
+			fmt.Printf("store: recovered %d observations and %d digests from %s (repaired %d torn bytes)\n",
+				rs.ReplayedObservations, rs.ReplayedDigests, *dataDir, rs.RepairedBytes)
+		}
 		ctl.Start()
 		defer ctl.Stop()
 		fmt.Printf("online fine-tuning on: every %v, %d fresh samples per model trigger a refresh\n",
 			*ftInterval, *ftMinSamples)
+	}
+	if st != nil {
+		st.Start()
+		fmt.Printf("durable store on: %s (fsync=%s, compaction every %v)\n", *dataDir, *fsyncMode, *compactEvery)
 	}
 	srv := &http.Server{
 		Addr:              *addr,

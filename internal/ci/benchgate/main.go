@@ -35,11 +35,12 @@ type benchRecord struct {
 	} `json:"after"`
 }
 
-// benchFile covers both BENCH_train.json ("train" array) and
-// BENCH_serve.json ("serve" array).
+// benchFile covers BENCH_train.json ("train" array) and
+// BENCH_serve.json ("serve" and "store" arrays).
 type benchFile struct {
 	Train []benchRecord `json:"train"`
 	Serve []benchRecord `json:"serve"`
+	Store []benchRecord `json:"store"`
 }
 
 // loadBaselines maps benchmark name -> recorded ns/op across files.
@@ -54,7 +55,7 @@ func loadBaselines(paths []string) (map[string]float64, error) {
 		if err := json.Unmarshal(b, &f); err != nil {
 			return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
 		}
-		for _, rec := range append(f.Train, f.Serve...) {
+		for _, rec := range append(append(f.Train, f.Serve...), f.Store...) {
 			if rec.Name != "" && rec.After.NsPerOp > 0 {
 				out[rec.Name] = rec.After.NsPerOp
 			}

@@ -182,6 +182,17 @@ func (b *buffer) purge(drop func(core.Sample) bool) int {
 	return removed
 }
 
+// markDigested clears the freshness of every buffered sample without
+// snapshotting them. Boot replay uses it when a digest record follows
+// the samples in the log: they were digested by a fine-tune whose
+// result is checkpointed, so they must anchor future fine-tunes without
+// re-triggering one.
+func (b *buffer) markDigested() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fresh = 0
+}
+
 // clearBackoff resets the failure state once an attempt gets past the
 // load/clone stage again.
 func (b *buffer) clearBackoff() {

@@ -10,6 +10,7 @@
 package lifecycle
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
@@ -62,6 +63,29 @@ type Config struct {
 	// Finetune tunes the adaptation runs. A zero value selects
 	// StrategyPartialUnfreeze with DefaultFinetuneEpochs/Patience.
 	Finetune core.FinetuneOptions
+	// Log, when set, makes observations durable: Observe appends to it
+	// before ring admission and fails (rejecting the observation) if the
+	// append does, so an acknowledged observation is always recoverable.
+	// *store.Store satisfies it.
+	Log ObservationLog
+	// Checkpoint, when set, persists every installed model version
+	// (serialized before the swap publishes the model, written after the
+	// swap succeeds). *store.Store satisfies it.
+	Checkpoint Checkpointer
+}
+
+// ObservationLog is the durable observation sink (the WAL). The
+// controller defines the interface structurally so the lifecycle and
+// store packages stay decoupled; *store.Store satisfies it.
+type ObservationLog interface {
+	AppendObservation(job, env string, sample core.Sample, at time.Time) error
+	AppendDigest(job, env string, fresh int, at time.Time) error
+}
+
+// Checkpointer persists installed model versions; *store.Store
+// satisfies it.
+type Checkpointer interface {
+	CheckpointModel(job, env string, version uint64, blob []byte) error
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +140,7 @@ type Controller struct {
 	finetunes, finetuneErrors atomic.Int64
 	swaps, swapsSkipped       atomic.Int64
 	finetuneNS                atomic.Int64
+	restored, logErrors       atomic.Int64
 
 	startOnce, stopOnce sync.Once
 	stop                chan struct{}
@@ -168,14 +193,57 @@ func (c *Controller) Observe(key serve.ModelKey, q core.Query, runtimeSec float6
 		c.rejected.Add(1)
 		return err
 	}
-	b.add(core.Sample{
+	s := core.Sample{
 		ScaleOut:   q.ScaleOut,
 		Essential:  q.Essential,
 		Optional:   q.Optional,
 		RuntimeSec: runtimeSec,
-	}, time.Now())
+	}
+	now := time.Now()
+	// Durability before admission: an observation enters the ring only
+	// once the WAL holds it, so an acknowledged Observe (HTTP 202) is
+	// never lost to a crash. A failed append rejects the observation
+	// rather than admitting volatile state the caller believes durable.
+	if c.cfg.Log != nil {
+		if err := c.cfg.Log.AppendObservation(key.Job, key.Env, s, now); err != nil {
+			c.logErrors.Add(1)
+			c.rejected.Add(1)
+			return fmt.Errorf("lifecycle: observation not durable: %w", err)
+		}
+	}
+	b.add(s, now)
 	c.observations.Add(1)
 	return nil
+}
+
+// Restore re-admits one replayed observation into key's ring without
+// re-logging it. It is the boot-replay counterpart of Observe: call it
+// (with the observation's original arrival time) while replaying the
+// durable log, before Start and before serving traffic.
+func (c *Controller) Restore(key serve.ModelKey, s core.Sample, at time.Time) {
+	b, err := c.bufferFor(key)
+	if err != nil {
+		c.rejected.Add(1)
+		return
+	}
+	b.add(s, at)
+	c.restored.Add(1)
+}
+
+// RestoreDigest marks key's currently buffered samples digested during
+// boot replay. A digest record follows a checkpointed fine-tune in the
+// log, so replaying it reconstructs the ring's freshness state — the
+// samples stay resident as context for future fine-tunes but do not
+// re-trigger the fine-tune whose result is already checkpointed.
+func (c *Controller) RestoreDigest(key serve.ModelKey) {
+	c.mu.Lock()
+	b := c.buffers[key]
+	c.mu.Unlock()
+	if b == nil {
+		return
+	}
+	b.markDigested()
+	c.restored.Add(1)
 }
 
 func (c *Controller) bufferFor(key serve.ModelKey) (*buffer, error) {
@@ -312,12 +380,39 @@ func (c *Controller) tune(j tuneJob) (installed bool) {
 		c.finetuneErrors.Add(1)
 		return false
 	}
+	// Serialize the clone before Swap publishes it: until then the
+	// goroutine owns the model exclusively, so the checkpoint bytes need
+	// no lock and can never capture a half-updated state.
+	var blob []byte
+	if c.cfg.Checkpoint != nil {
+		var buf bytes.Buffer
+		if err := clone.Save(&buf); err != nil {
+			c.logErrors.Add(1)
+		} else {
+			blob = buf.Bytes()
+		}
+	}
 	version, ok := c.reg.Swap(j.key, ref.Gen, clone)
 	if !ok {
 		c.swapsSkipped.Add(1)
 		return false
 	}
 	c.swaps.Add(1)
+	// Checkpoint the installed version, then log the digest. The order
+	// is the recovery invariant: a digest record promises "a checkpoint
+	// of the model that absorbed these samples exists", so replay can
+	// mark them digested. A crash between swap and checkpoint (or
+	// between checkpoint and digest) leaves the samples fresh in the
+	// replayed ring — a harmless re-fine-tune, never lost data.
+	if blob != nil {
+		if err := c.cfg.Checkpoint.CheckpointModel(j.key.Job, j.key.Env, version, blob); err != nil {
+			c.logErrors.Add(1)
+		} else if c.cfg.Log != nil {
+			if err := c.cfg.Log.AppendDigest(j.key.Job, j.key.Env, j.fresh, time.Now()); err != nil {
+				c.logErrors.Add(1)
+			}
+		}
+	}
 	c.mu.Lock()
 	hooks := c.onSwap
 	c.mu.Unlock()
@@ -344,6 +439,8 @@ func (c *Controller) LifecycleStats() serve.LifecycleStats {
 		FinetuneErrors: c.finetuneErrors.Load(),
 		Swaps:          c.swaps.Load(),
 		SwapsSkipped:   c.swapsSkipped.Load(),
+		Restored:       c.restored.Load(),
+		LogErrors:      c.logErrors.Load(),
 	}
 	if st.Finetunes > 0 {
 		st.MeanFinetune = time.Duration(c.finetuneNS.Load() / st.Finetunes)

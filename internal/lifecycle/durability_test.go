@@ -1,0 +1,287 @@
+package lifecycle
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// The store satisfies the controller's durability interfaces
+// structurally; pin that here so a signature drift fails to compile.
+var (
+	_ ObservationLog = (*store.Store)(nil)
+	_ Checkpointer   = (*store.Store)(nil)
+)
+
+// durableStack builds a store-backed service + controller over dir, the
+// exact wiring cmd/bellamy serve uses.
+func durableStack(t *testing.T, dir string, tl *testLoader) (*store.Store, *serve.Service, *Controller) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{Fsync: store.FsyncNever})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	svc := serve.NewService(tl.load, serve.Options{})
+	svc.Registry().SetVersionedLoader(serve.CheckpointLoader(tl.load, st))
+	svc.AttachStore(st)
+	ctl := New(svc.Registry(), Config{
+		MinSamples: 8,
+		Interval:   time.Hour, // RunOnce drives the test
+		Workers:    1,
+		Finetune:   fastFinetune(),
+		Log:        st,
+		Checkpoint: st,
+	})
+	svc.AttachObserver(ctl)
+	return st, svc, ctl
+}
+
+// replayInto streams the store history into the controller, the boot
+// path of a restarted node.
+func replayInto(t *testing.T, st *store.Store, ctl *Controller) {
+	t.Helper()
+	err := st.Replay(store.ReplayHandler{
+		Observation: func(job, env string, s core.Sample, at time.Time) {
+			ctl.Restore(serve.ModelKey{Job: job, Env: env}, s, at)
+		},
+		Digest: func(job, env string, fresh int, at time.Time) {
+			ctl.RestoreDigest(serve.ModelKey{Job: job, Env: env})
+		},
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+}
+
+// TestLifecycleDurableRestart extends TestObserveFinetuneSwapImproves
+// across a hard restart: observations flow in and trigger a fine-tune +
+// swap + checkpoint, more observations arrive undigested, then the
+// whole stack is torn down and rebuilt from the data directory. The
+// recovered node must serve the fine-tuned version at the same version
+// number, hold exactly the undigested samples as pending, and not
+// re-run the already-checkpointed fine-tune.
+func TestLifecycleDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	tl := &testLoader{t: t}
+	st, svc, ctl := durableStack(t, dir, tl)
+	key := serve.ModelKey{Job: "sort", Env: "c3o"}
+	qs, truths := observedSamples()
+
+	maeBefore := serviceMAE(t, svc, key, qs, truths)
+	for i, q := range qs {
+		if err := svc.Observe(key, q, truths[i]); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if n := ctl.RunOnce(); n != 1 {
+		t.Fatalf("RunOnce swapped %d models, want 1", n)
+	}
+	if v, ok := svc.Registry().Version(key); !ok || v != 2 {
+		t.Fatalf("version after swap = (%d, %v), want (2, true)", v, ok)
+	}
+	maeTuned := serviceMAE(t, svc, key, qs, truths)
+	if maeTuned >= maeBefore*0.5 {
+		t.Fatalf("MAE %.2fs -> %.2fs: fine-tune did not improve enough to measure recovery", maeBefore, maeTuned)
+	}
+	// Observations after the digest: fresh at crash time, and they must
+	// still be pending after recovery.
+	const undigested = 4
+	for i := 0; i < undigested; i++ {
+		if err := svc.Observe(key, qs[i], truths[i]); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	ingested := int64(len(qs) + undigested)
+	ds := st.StoreStats()
+	if ds.WALAppends != ingested+1 { // +1 digest record
+		t.Fatalf("WAL holds %d records, want %d observations + 1 digest", ds.WALAppends, ingested)
+	}
+	if ds.Checkpoints != 1 {
+		t.Fatalf("checkpoints = %d, want 1", ds.Checkpoints)
+	}
+	// Hard restart: close the store (kill -9 equivalence for the WAL
+	// content is pinned by the store's own crash tests) and drop every
+	// in-memory structure.
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, svc2, ctl2 := durableStack(t, dir, tl)
+	defer st2.Close()
+	replayInto(t, st2, ctl2)
+
+	rs := st2.StoreStats()
+	if rs.ReplayedObservations != ingested {
+		t.Fatalf("replayed %d observations, want %d (every ingested sample)", rs.ReplayedObservations, ingested)
+	}
+	if rs.ReplayedDigests != 1 {
+		t.Fatalf("replayed %d digests, want 1", rs.ReplayedDigests)
+	}
+	ls := ctl2.LifecycleStats()
+	if ls.Restored != ingested+1 {
+		t.Fatalf("restored = %d, want %d records", ls.Restored, ingested+1)
+	}
+	if ls.PendingSamples != undigested {
+		t.Fatalf("pending after recovery = %d, want %d (only post-digest samples fresh)", ls.PendingSamples, undigested)
+	}
+	// The recovered registry serves the fine-tuned version — same
+	// version number, same weights (identical predictions), without
+	// touching the base-model loader.
+	maeRecovered := serviceMAE(t, svc2, key, qs, truths)
+	if v, ok := svc2.Registry().Version(key); !ok || v != 2 {
+		t.Fatalf("recovered version = (%d, %v), want (2, true)", v, ok)
+	}
+	if math.Abs(maeRecovered-maeTuned) > 1e-9 {
+		t.Fatalf("recovered MAE %.6fs != pre-restart MAE %.6fs: checkpoint is not the swapped model", maeRecovered, maeTuned)
+	}
+	if n := tl.loads.Load(); n != 1 {
+		t.Fatalf("base loader ran %d times, want 1 (recovery must come from the checkpoint)", n)
+	}
+	if rs2 := st2.StoreStats(); rs2.CheckpointLoads != 1 {
+		t.Fatalf("checkpoint loads = %d, want 1", rs2.CheckpointLoads)
+	}
+	// The checkpointed fine-tune must not re-run: the digest marker left
+	// only the undigested tail fresh, below the trigger.
+	if n := ctl2.RunOnce(); n != 0 {
+		t.Fatalf("recovery re-ran %d checkpointed fine-tunes, want 0", n)
+	}
+	// Life goes on: enough new observations trigger the next fine-tune,
+	// and the version counter continues from the recovered value.
+	for i := undigested; i < 8; i++ {
+		if err := svc2.Observe(key, qs[i], truths[i]); err != nil {
+			t.Fatalf("Observe after recovery: %v", err)
+		}
+	}
+	if n := ctl2.RunOnce(); n != 1 {
+		t.Fatalf("post-recovery RunOnce swapped %d models, want 1", n)
+	}
+	if v, ok := svc2.Registry().Version(key); !ok || v != 3 {
+		t.Fatalf("post-recovery version = (%d, %v), want (3, true)", v, ok)
+	}
+}
+
+// TestDurableObserveRejectedWhenLogFails: an observation whose WAL
+// append fails must be rejected (the caller's 202 means durable), not
+// admitted into the volatile ring.
+func TestDurableObserveRejectedWhenLogFails(t *testing.T) {
+	tl := &testLoader{t: t}
+	ctl := New(serve.NewRegistry(tl.load, 4), Config{
+		Log: failingLog{},
+	})
+	key := serve.ModelKey{Job: "sort"}
+	if err := ctl.Observe(key, testQuery(4, 10000), 10); err == nil {
+		t.Fatal("observation accepted despite a failing durable log")
+	}
+	st := ctl.LifecycleStats()
+	if st.Observations != 0 || st.Rejected != 1 || st.LogErrors != 1 || st.PendingSamples != 0 {
+		t.Fatalf("stats = %+v, want the observation rejected and counted as a log error", st)
+	}
+}
+
+type failingLog struct{}
+
+func (failingLog) AppendObservation(job, env string, s core.Sample, at time.Time) error {
+	return errTransient
+}
+func (failingLog) AppendDigest(job, env string, fresh int, at time.Time) error {
+	return errTransient
+}
+
+// TestBackoffRaceUnderConcurrentObserve is the -race regression for the
+// load-failure backoff timer: scans that requeue (arming the backoff)
+// race against concurrent Observe calls growing the same ring and
+// against stats reads. The invariants: no data race, pending never
+// exceeds the ring bound, and the backoff keeps the failing loader from
+// being ground on every scan.
+func TestBackoffRaceUnderConcurrentObserve(t *testing.T) {
+	var loads atomic.Int64
+	loader := func(key serve.ModelKey) (*core.Model, error) {
+		loads.Add(1)
+		return nil, errTransient
+	}
+	const bufferCap = 32
+	ctl := New(serve.NewRegistry(loader, 4), Config{
+		MinSamples: 1,
+		BufferCap:  bufferCap,
+		Interval:   time.Nanosecond, // backoff base: retries stay hot under the hammer
+		Finetune:   fastFinetune(),
+	})
+	key := serve.ModelKey{Job: "ghost"}
+	q := testQuery(4, 10000)
+	// Seed the ring before the hammer so the very first scan already has
+	// a triggered buffer to fail on.
+	if err := ctl.Observe(key, q, 10); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Ring growth: concurrent observers hammer the same key while scans
+	// snapshot, requeue, and arm the backoff timer on its buffer.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := ctl.Observe(key, q, 10); err != nil {
+					t.Errorf("Observe: %v", err)
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	// Stats reader: LifecycleStats walks the buffers while they churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := ctl.LifecycleStats()
+			if st.PendingSamples > bufferCap {
+				t.Errorf("pending %d exceeds ring bound %d", st.PendingSamples, bufferCap)
+				return
+			}
+		}
+	}()
+	const scans = 60
+	for i := 0; i < scans; i++ {
+		ctl.RunOnce()
+		runtime.Gosched() // let the observers interleave with the scans
+	}
+	close(stop)
+	wg.Wait()
+
+	st := ctl.LifecycleStats()
+	if st.FinetuneErrors == 0 {
+		t.Fatal("hammer never hit the failing loader")
+	}
+	if st.Finetunes != 0 {
+		t.Fatalf("finetunes = %d through a loader that always fails", st.Finetunes)
+	}
+	if st.PendingSamples > bufferCap {
+		t.Fatalf("pending %d exceeds ring bound %d", st.PendingSamples, bufferCap)
+	}
+	// Each RunOnce makes at most one load attempt for the key — requeue
+	// arms the backoff and takeIfTriggered refuses before retryAt, even
+	// with observers refreshing the ring between scans.
+	if n := loads.Load(); n > scans {
+		t.Fatalf("loader ran %d times across %d scans", n, scans)
+	}
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// StoreStatser exposes the durable store's counters (implemented by
+// *store.Store), surfaced in /v1/stats when a store is attached.
+type StoreStatser interface {
+	StoreStats() store.Stats
+}
+
+// CheckpointRecoverer recovers checkpointed model versions
+// (implemented by *store.Store).
+type CheckpointRecoverer interface {
+	LoadCheckpoint(job, env string) (store.Checkpoint, bool, error)
+}
+
+// CheckpointLoader wraps a base Loader with checkpoint recovery: when
+// the store holds a checkpoint for the key, the checkpointed model is
+// published at the version it was installed as before the restart;
+// otherwise (no checkpoint, or a corrupt one — already counted in the
+// store stats) the base loader's model is published at version 1.
+func CheckpointLoader(base Loader, cr CheckpointRecoverer) VersionedLoader {
+	return func(key ModelKey) (*core.Model, uint64, error) {
+		ck, ok, err := cr.LoadCheckpoint(key.Job, key.Env)
+		if err == nil && ok {
+			return ck.Model, ck.Version, nil
+		}
+		m, baseErr := base(key)
+		return m, 1, baseErr
+	}
+}
+
+// storeStatser is the service's attached store, behind an atomic
+// pointer like the observer so /v1/stats reads race-free.
+type storeStatser struct {
+	st StoreStatser
+}
+
+// AttachStore surfaces a durable store's counters in the service stats
+// (/v1/stats gains a "store" block). Attach before serving traffic.
+func (s *Service) AttachStore(st StoreStatser) {
+	s.storeRef.Store(&storeStatser{st: st})
+}
+
+// storeStats snapshots the attached store's counters, if any.
+func (s *Service) storeStats() (store.Stats, bool) {
+	ref := s.storeRef.Load()
+	if ref == nil {
+		return store.Stats{}, false
+	}
+	return ref.st.StoreStats(), true
+}

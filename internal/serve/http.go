@@ -124,6 +124,7 @@ type statsJSON struct {
 	ModelSwaps      int64          `json:"model_swaps,omitempty"`
 	Alloc           allocStatsJSON `json:"alloc"`
 	Lifecycle       *lifecycleJSON `json:"lifecycle,omitempty"`
+	Store           *storeJSON     `json:"store,omitempty"`
 }
 
 // allocStatsJSON is the wire form of the allocation counters.
@@ -145,6 +146,27 @@ type lifecycleJSON struct {
 	Swaps            int64   `json:"swaps"`
 	SwapsSkipped     int64   `json:"swaps_skipped"`
 	MeanFinetuneUsec float64 `json:"mean_finetune_usec"`
+	Restored         int64   `json:"restored,omitempty"`
+	LogErrors        int64   `json:"log_errors,omitempty"`
+}
+
+// storeJSON is the wire form of the durable-store counters.
+type storeJSON struct {
+	WALAppends           int64  `json:"wal_appends"`
+	WALAppendedBytes     int64  `json:"wal_appended_bytes"`
+	WALSegments          int    `json:"wal_segments"`
+	WALActiveSeq         uint64 `json:"wal_active_seq"`
+	Fsyncs               int64  `json:"fsyncs"`
+	RepairedBytes        int64  `json:"repaired_bytes,omitempty"`
+	ReplayedObservations int64  `json:"replayed_observations"`
+	ReplayedDigests      int64  `json:"replayed_digests"`
+	CorruptSegments      int64  `json:"corrupt_segments,omitempty"`
+	Compactions          int64  `json:"compactions"`
+	CompactedRecords     int64  `json:"compacted_records"`
+	CompactSegments      int    `json:"compact_segments"`
+	Checkpoints          int64  `json:"checkpoints"`
+	CheckpointErrors     int64  `json:"checkpoint_errors,omitempty"`
+	CheckpointLoads      int64  `json:"checkpoint_loads"`
 }
 
 func toRequest(in predictRequestJSON) (Request, error) {
@@ -374,6 +396,27 @@ func (s *Service) Handler() http.Handler {
 				Swaps:            ls.Swaps,
 				SwapsSkipped:     ls.SwapsSkipped,
 				MeanFinetuneUsec: float64(ls.MeanFinetune.Nanoseconds()) / 1e3,
+				Restored:         ls.Restored,
+				LogErrors:        ls.LogErrors,
+			}
+		}
+		if ds, ok := s.storeStats(); ok {
+			out.Store = &storeJSON{
+				WALAppends:           ds.WALAppends,
+				WALAppendedBytes:     ds.WALAppendedBytes,
+				WALSegments:          ds.WALSegments,
+				WALActiveSeq:         ds.WALActiveSeq,
+				Fsyncs:               ds.Fsyncs,
+				RepairedBytes:        ds.RepairedBytes,
+				ReplayedObservations: ds.ReplayedObservations,
+				ReplayedDigests:      ds.ReplayedDigests,
+				CorruptSegments:      ds.CorruptSegments,
+				Compactions:          ds.Compactions,
+				CompactedRecords:     ds.CompactedRecords,
+				CompactSegments:      ds.CompactSegments,
+				Checkpoints:          ds.Checkpoints,
+				CheckpointErrors:     ds.CheckpointErrors,
+				CheckpointLoads:      ds.CheckpointLoads,
 			}
 		}
 		writeJSON(w, out)

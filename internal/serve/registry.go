@@ -32,6 +32,14 @@ func (k ModelKey) String() string { return k.Job + "@" + k.Env }
 // after a failed load or an eviction.
 type Loader func(key ModelKey) (*core.Model, error)
 
+// VersionedLoader materializes a model together with the version number
+// it is published as. A plain Loader always publishes version 1; a
+// recovery-aware loader (see CheckpointLoader) returns the version the
+// model held when it was checkpointed, so a restarted node's registry
+// reports the same generation it crashed with. A returned version of 0
+// is normalized to 1.
+type VersionedLoader func(key ModelKey) (*core.Model, uint64, error)
+
 // Model wraps a core.Model with the mutex that makes it safe to serve:
 // forward passes cache per-layer state and share the model-owned
 // compute workspace, so concurrent inference on the same underlying
@@ -149,8 +157,9 @@ type RegistryStats struct {
 // context. Loads are deduplicated single-flight style, and the resident
 // set is bounded by an LRU policy.
 type Registry struct {
-	loader Loader
-	cap    int
+	loader  Loader
+	vloader VersionedLoader // when set, replaces loader on the load path
+	cap     int
 
 	mu      sync.Mutex
 	entries map[ModelKey]*entry
@@ -178,6 +187,13 @@ func NewRegistry(loader Loader, capacity int) *Registry {
 		lru:     list.New(),
 	}
 }
+
+// SetVersionedLoader replaces the registry's load path with a loader
+// that also dictates the published version of each loaded model. Set it
+// before serving traffic (it is not synchronized against in-flight
+// loads); the serve startup path uses it to restore checkpointed model
+// versions after a restart.
+func (r *Registry) SetVersionedLoader(vl VersionedLoader) { r.vloader = vl }
 
 // Get returns the serving model for key, loading it on first use. All
 // concurrent callers for the same key share one loader invocation. A
@@ -215,7 +231,17 @@ func (r *Registry) GetRef(key ModelKey) (Ref, error) {
 		return Ref{Model: v.sm, Version: v.version, Gen: e.gen}, nil
 	}
 
-	m, err := r.loader(key)
+	var m *core.Model
+	var version uint64 = 1
+	var err error
+	if r.vloader != nil {
+		m, version, err = r.vloader(key)
+		if version == 0 {
+			version = 1
+		}
+	} else {
+		m, err = r.loader(key)
+	}
 	if err != nil {
 		e.err = fmt.Errorf("serve: loading model %s: %w", key, err)
 		r.loadErrors.Add(1)
@@ -229,7 +255,7 @@ func (r *Registry) GetRef(key ModelKey) (Ref, error) {
 		r.mu.Unlock()
 		return Ref{}, e.err
 	}
-	v := &versioned{version: 1, sm: &Model{m: m}}
+	v := &versioned{version: version, sm: &Model{m: m}}
 	e.slot.Store(v)
 	r.loads.Add(1)
 	close(e.ready)

@@ -112,6 +112,13 @@ type LifecycleStats struct {
 	// MeanFinetune is the average wall-clock time of a fine-tune run
 	// (failed runs included).
 	MeanFinetune time.Duration
+	// Restored counts observations and digest markers re-admitted from
+	// the durable log during boot replay.
+	Restored int64
+	// LogErrors counts durable-log append and checkpoint write failures
+	// (observations rejected as not-durable, versions left
+	// uncheckpointed).
+	LogErrors int64
 }
 
 // LifecycleStatser exposes online-learning counters.
@@ -143,6 +150,7 @@ type Service struct {
 	workers int
 
 	observer atomic.Pointer[Observer]
+	storeRef atomic.Pointer[storeStatser]
 
 	// engines pools allocation engines: each holds reusable sweep and
 	// smoothing buffers, so warm allocations don't churn memory even

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BenchmarkWALAppend measures the framed append path without fsync
+// (FsyncNever), i.e. the CPU cost of encoding + CRC + buffered write
+// per observation. The fsync policies add pure device latency on top;
+// gating the CPU path keeps the benchmark meaningful on shared runners.
+func BenchmarkWALAppend(b *testing.B) {
+	st, err := Open(b.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	at := time.Unix(1700000000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.AppendObservation("sort", "c3o", obs(i), at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures boot recovery: decode + dispatch of a 10k
+// observation WAL into replay handlers. This is the restart-latency
+// budget per 10k acknowledged observations.
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	st, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 10000
+	at := time.Unix(1700000000, 0)
+	for i := 0; i < records; i++ {
+		if err := st.AppendObservation("sort", "c3o", obs(i), at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := Open(dir, Options{Fsync: FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		n := 0
+		err = st.Replay(ReplayHandler{
+			Observation: func(job, env string, s core.Sample, at time.Time) { n++ },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("replayed %d records, want %d", n, records)
+		}
+		b.StopTimer()
+		st.Close()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,170 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Checkpoint file layout:
+//
+//	header   8 bytes  "BCKP" version
+//	version  u64 LE   registry version the blob was installed as
+//	walSeq   u64 LE   active WAL sequence when the checkpoint was cut
+//	at       i64 LE   unix nanoseconds of the checkpoint
+//	blobLen  u32 LE
+//	blobCRC  u32 LE   CRC32C of the blob
+//	blob     gob bytes written by core.Model.Save
+//
+// A checkpoint is published write-temp + rename: a crash mid-write
+// leaves a .tmp file (deleted on the next Open) and the previous
+// checkpoint — never a torn published file.
+var ckptMagic = []byte{'B', 'C', 'K', 'P', 1, 0, 0, 0}
+
+const ckptHeaderLen = 8 + 8 + 8 + 8 + 4 + 4
+
+// ckptName maps a model key to its checkpoint file name, mirroring
+// serve.ModelFileName.
+func ckptName(job, env string) string {
+	if env == "" {
+		return job + ".ckpt"
+	}
+	return job + "_" + env + ".ckpt"
+}
+
+// ckptKeyOK mirrors the serve layer's key restriction ([A-Za-z0-9.-],
+// no ".."): checkpoint names embed the key in a file name, and keys
+// originate from HTTP input, so the store re-validates rather than
+// trusting its callers.
+func ckptKeyOK(part string) bool {
+	for _, r := range part {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+		case r == '.':
+			if strings.Contains(part, "..") {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CheckpointModel atomically persists one installed model version:
+// blob is the serialized model (core.Model.Save bytes), version the
+// registry version it was published as. The previous checkpoint of
+// the key, if any, is replaced only by the completed rename.
+func (s *Store) CheckpointModel(job, env string, version uint64, blob []byte) error {
+	if job == "" || !ckptKeyOK(job) || !ckptKeyOK(env) {
+		s.checkpointErrors.Add(1)
+		return fmt.Errorf("store: invalid checkpoint key %q/%q", job, env)
+	}
+	buf := make([]byte, 0, ckptHeaderLen+len(blob))
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, version)
+	buf = binary.LittleEndian.AppendUint64(buf, s.w.activeSeq())
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(time.Now().UnixNano()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(blob, castagnoli))
+	buf = append(buf, blob...)
+
+	path := filepath.Join(s.ckptDir, ckptName(job, env))
+	tmp := path + ".tmp"
+	if err := s.writeCheckpointFile(tmp, path, buf); err != nil {
+		s.checkpointErrors.Add(1)
+		return err
+	}
+	s.checkpoints.Add(1)
+	return nil
+}
+
+func (s *Store) writeCheckpointFile(tmp, path string, buf []byte) error {
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: writing checkpoint temp file: %w", err)
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		return fmt.Errorf("store: reopening checkpoint temp file: %w", err)
+	}
+	syncErr := f.Sync()
+	f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("store: syncing checkpoint: %w", syncErr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: publishing checkpoint: %w", err)
+	}
+	return syncDir(s.ckptDir)
+}
+
+// Checkpoint carries one recovered model version and its generation
+// metadata.
+type Checkpoint struct {
+	Model   *core.Model
+	Version uint64
+	WALSeq  uint64
+	At      int64
+}
+
+// LoadCheckpoint recovers the persisted model version of a key. The
+// boolean reports whether a checkpoint exists; a corrupt checkpoint
+// reports (false, error) so callers can fall back to the base model
+// while surfacing the fault in the counters.
+func (s *Store) LoadCheckpoint(job, env string) (Checkpoint, bool, error) {
+	if job == "" || !ckptKeyOK(job) || !ckptKeyOK(env) {
+		return Checkpoint{}, false, fmt.Errorf("store: invalid checkpoint key %q/%q", job, env)
+	}
+	b, err := os.ReadFile(filepath.Join(s.ckptDir, ckptName(job, env)))
+	if os.IsNotExist(err) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		s.checkpointErrors.Add(1)
+		return Checkpoint{}, false, fmt.Errorf("store: reading checkpoint: %w", err)
+	}
+	ck, err := decodeCheckpoint(b)
+	if err != nil {
+		s.checkpointErrors.Add(1)
+		return Checkpoint{}, false, fmt.Errorf("store: checkpoint %s: %w", ckptName(job, env), err)
+	}
+	s.checkpointLoads.Add(1)
+	return ck, true, nil
+}
+
+// decodeCheckpoint validates and deserializes one checkpoint image.
+func decodeCheckpoint(b []byte) (Checkpoint, error) {
+	if len(b) < ckptHeaderLen {
+		return Checkpoint{}, fmt.Errorf("shorter than its header")
+	}
+	if string(b[:8]) != string(ckptMagic) {
+		return Checkpoint{}, fmt.Errorf("bad magic")
+	}
+	ck := Checkpoint{
+		Version: binary.LittleEndian.Uint64(b[8:]),
+		WALSeq:  binary.LittleEndian.Uint64(b[16:]),
+		At:      int64(binary.LittleEndian.Uint64(b[24:])),
+	}
+	blobLen := int64(binary.LittleEndian.Uint32(b[32:]))
+	blobCRC := binary.LittleEndian.Uint32(b[36:])
+	if int64(len(b))-ckptHeaderLen != blobLen {
+		return Checkpoint{}, fmt.Errorf("blob length %d != %d remaining bytes", blobLen, len(b)-ckptHeaderLen)
+	}
+	blob := b[ckptHeaderLen:]
+	if crc32.Checksum(blob, castagnoli) != blobCRC {
+		return Checkpoint{}, fmt.Errorf("blob CRC mismatch")
+	}
+	m, err := core.Load(bytes.NewReader(blob))
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	ck.Model = m
+	return ck, nil
+}

@@ -1,0 +1,522 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultSegmentBytes    = 4 << 20
+	DefaultMaxRecordBytes  = 1 << 20
+	DefaultFsyncEvery      = 100 * time.Millisecond
+	DefaultCompactInterval = time.Minute
+)
+
+// Options tunes a Store.
+type Options struct {
+	// Fsync picks the WAL durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncEvery bounds sync frequency under FsyncInterval
+	// (<= 0: DefaultFsyncEvery).
+	FsyncEvery time.Duration
+	// SegmentBytes rolls the active WAL segment past this size
+	// (<= 0: DefaultSegmentBytes).
+	SegmentBytes int64
+	// MaxRecordBytes bounds one framed record; replay treats larger
+	// claimed lengths as corruption (<= 0: DefaultMaxRecordBytes).
+	MaxRecordBytes int
+	// CompactInterval is the background compaction period started by
+	// Start (<= 0: DefaultCompactInterval).
+	CompactInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = DefaultFsyncEvery
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if o.CompactInterval <= 0 {
+		o.CompactInterval = DefaultCompactInterval
+	}
+	return o
+}
+
+// ErrCorrupt marks replay stopping early because a sealed WAL segment
+// or a compacted segment failed validation. The store stays usable
+// (new appends go to the intact active segment); the replayed state is
+// the longest clean prefix.
+var ErrCorrupt = errors.New("store: corrupt segment")
+
+// Stats is a snapshot of the store counters.
+type Stats struct {
+	// WALAppends / WALAppendedBytes count framed records written.
+	WALAppends, WALAppendedBytes int64
+	// WALSegments is the current on-disk WAL segment count (active
+	// included); WALActiveSeq the active segment's sequence number.
+	WALSegments  int
+	WALActiveSeq uint64
+	// Fsyncs counts explicit sync calls (appends, seals, closes).
+	Fsyncs int64
+	// RepairedBytes counts torn tail bytes truncated at Open.
+	RepairedBytes int64
+	// ReplayedObservations / ReplayedDigests count records delivered
+	// by Replay.
+	ReplayedObservations, ReplayedDigests int64
+	// CorruptSegments counts sealed WAL or compacted segments that
+	// failed validation at Open or Replay.
+	CorruptSegments int64
+	// Compactions counts compaction runs that produced a segment;
+	// CompactedRecords the WAL records they absorbed; CompactSegments
+	// the current compacted segment count.
+	Compactions, CompactedRecords int64
+	CompactSegments               int
+	// Checkpoints / CheckpointErrors / CheckpointLoads count model
+	// checkpoint writes, failed writes or corrupt reads, and
+	// successful recoveries.
+	Checkpoints, CheckpointErrors, CheckpointLoads int64
+}
+
+// Store is the durable observation + model store rooted at one data
+// directory:
+//
+//	<dir>/wal/   append-only observation log segments
+//	<dir>/seg/   immutable compacted segments
+//	<dir>/ckpt/  atomic model-version checkpoints
+//
+// Open repairs the WAL tail; Replay streams the persisted history (in
+// per-key order) into the caller's sinks; Start launches background
+// compaction. All methods are safe for concurrent use once Replay has
+// returned.
+type Store struct {
+	dir     string
+	walDir  string
+	segDir  string
+	ckptDir string
+	opts    Options
+	w       *wal
+
+	mu   sync.Mutex // guards segs and compaction
+	segs []*Segment // open compacted segments, sorted by walLast
+
+	repairedBytes    atomic.Int64
+	replayedObs      atomic.Int64
+	replayedDigests  atomic.Int64
+	corruptSegments  atomic.Int64
+	compactions      atomic.Int64
+	compactedRecords atomic.Int64
+	checkpoints      atomic.Int64
+	checkpointErrors atomic.Int64
+	checkpointLoads  atomic.Int64
+
+	startOnce, stopOnce sync.Once
+	stop, done          chan struct{}
+}
+
+// Open prepares the data directory: creates the layout, removes
+// leftover temp files, deletes WAL segments already covered by a
+// compacted segment (a crash between segment publish and WAL deletion
+// leaves both), repairs the newest WAL segment's torn tail, and opens
+// the active segment for appending. It does not read the history —
+// call Replay for that, before serving traffic.
+func Open(dir string, opts Options) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		walDir:  filepath.Join(dir, "wal"),
+		segDir:  filepath.Join(dir, "seg"),
+		ckptDir: filepath.Join(dir, "ckpt"),
+		opts:    opts.withDefaults(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, d := range []string{s.walDir, s.segDir, s.ckptDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: creating %s: %w", d, err)
+		}
+		if err := removeTempFiles(d); err != nil {
+			return nil, err
+		}
+	}
+	// Open compacted segments; their coverage determines which WAL
+	// segments are stale leftovers.
+	segEntries, err := os.ReadDir(s.segDir)
+	if err != nil {
+		return nil, fmt.Errorf("store: listing segment dir: %w", err)
+	}
+	var maxCovered uint64
+	for _, e := range segEntries {
+		if _, ok := parseSegName(e.Name()); !ok {
+			continue
+		}
+		g, err := openSegment(filepath.Join(s.segDir, e.Name()))
+		if err != nil {
+			// A published segment that fails validation is bit rot;
+			// counted and skipped so the store stays available. Its
+			// records are unrecoverable (the WAL that fed it is gone).
+			s.corruptSegments.Add(1)
+			continue
+		}
+		s.segs = append(s.segs, g)
+		if g.walLast > maxCovered {
+			maxCovered = g.walLast
+		}
+	}
+	sort.Slice(s.segs, func(i, j int) bool { return s.segs[i].walLast < s.segs[j].walLast })
+
+	seqs, err := listWALSegments(s.walDir)
+	if err != nil {
+		return nil, err
+	}
+	live := seqs[:0]
+	for _, seq := range seqs {
+		if seq <= maxCovered {
+			// Compaction finished but crashed before deleting this
+			// input; its records live in a compacted segment already.
+			if err := os.Remove(filepath.Join(s.walDir, walName(seq))); err != nil {
+				return nil, fmt.Errorf("store: removing compacted WAL segment: %w", err)
+			}
+			continue
+		}
+		live = append(live, seq)
+	}
+	seqs = live
+
+	s.w = &wal{
+		dir:      s.walDir,
+		policy:   s.opts.Fsync,
+		every:    s.opts.FsyncEvery,
+		segBytes: s.opts.SegmentBytes,
+		maxRec:   s.opts.MaxRecordBytes,
+	}
+	activeSeq := maxCovered + 1
+	var activeSize int64
+	if n := len(seqs); n > 0 {
+		// Repair the newest segment: truncate everything after the
+		// last intact frame. Crashes tear only the tail of the newest
+		// segment; older segments with bad frames are corruption and
+		// are surfaced at Replay, not silently truncated.
+		last := seqs[n-1]
+		path := filepath.Join(s.walDir, walName(last))
+		res, err := scanWALFile(path, s.opts.MaxRecordBytes, nil)
+		if err != nil {
+			return nil, err
+		}
+		valid := res.validSize
+		if valid < walHeaderLen {
+			valid = 0 // header itself torn; rewrite from scratch
+		}
+		if valid < res.fileSize {
+			if err := os.Truncate(path, valid); err != nil {
+				return nil, fmt.Errorf("store: repairing WAL tail: %w", err)
+			}
+			s.repairedBytes.Add(res.fileSize - valid)
+		}
+		activeSeq, activeSize = last, valid
+		if activeSize >= s.opts.SegmentBytes {
+			// The crashed process filled this segment; treat it as
+			// sealed and roll.
+			activeSeq, activeSize = last+1, 0
+		}
+	}
+	if err := s.w.openActive(activeSeq, activeSize); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func removeTempFiles(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: listing %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return fmt.Errorf("store: removing temp file: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// ReplayHandler receives the persisted history during Replay. Either
+// callback may be nil. Observations of one key arrive in ingestion
+// order, interleaved with that key's digest markers exactly where they
+// occurred; ordering across keys is not preserved once records have
+// been compacted.
+type ReplayHandler struct {
+	Observation func(job, env string, s core.Sample, at time.Time)
+	Digest      func(job, env string, fresh int, at time.Time)
+}
+
+// Replay streams every persisted record — compacted segments first,
+// then the remaining WAL segments in sequence order — into h. Call it
+// once, after Open and before appending traffic. If a sealed segment
+// fails validation, replay stops at the last clean prefix and the
+// returned error wraps ErrCorrupt; the store remains usable.
+func (s *Store) Replay(h ReplayHandler) error {
+	s.mu.Lock()
+	segs := append([]*Segment(nil), s.segs...)
+	s.mu.Unlock()
+	for _, g := range segs {
+		for _, e := range g.index {
+			err := g.decodeSeriesBlock(e,
+				func(p ObsPoint) {
+					s.replayedObs.Add(1)
+					if h.Observation != nil {
+						h.Observation(e.job, e.env, p.Sample, p.At)
+					}
+				},
+				func(at int64, fresh int) {
+					s.replayedDigests.Add(1)
+					if h.Digest != nil {
+						h.Digest(e.job, e.env, fresh, time.Unix(0, at))
+					}
+				})
+			if err != nil {
+				s.corruptSegments.Add(1)
+				return fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+	}
+	seqs, err := listWALSegments(s.walDir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range seqs {
+		res, err := scanWALFile(filepath.Join(s.walDir, walName(seq)), s.opts.MaxRecordBytes, func(payload []byte) error {
+			r, err := decodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			switch r.typ {
+			case recObservation:
+				s.replayedObs.Add(1)
+				if h.Observation != nil {
+					h.Observation(r.job, r.env, r.sample, time.Unix(0, r.at))
+				}
+			case recDigest:
+				s.replayedDigests.Add(1)
+				if h.Digest != nil {
+					h.Digest(r.job, r.env, r.fresh, time.Unix(0, r.at))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			// A framed record with a valid CRC that fails decode is
+			// corruption the frame checksum cannot see.
+			s.corruptSegments.Add(1)
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if !res.clean() {
+			// Open repaired the newest segment, so a torn frame here
+			// is a sealed segment damaged at rest: stop at the clean
+			// prefix.
+			s.corruptSegments.Add(1)
+			return fmt.Errorf("%w: %v", ErrCorrupt, res.tornErr)
+		}
+	}
+	return nil
+}
+
+// AppendObservation durably logs one observation before the caller
+// admits it anywhere else. Under FsyncAlways, return means the record
+// survives kill -9.
+func (s *Store) AppendObservation(job, env string, sample core.Sample, at time.Time) error {
+	payload := appendObservation(nil, job, env, sample, at.UnixNano())
+	return s.w.append(payload)
+}
+
+// AppendDigest logs that fresh observations of a key were digested by
+// an installed (and checkpointed) model version, so replay restores
+// the ring's freshness state instead of re-triggering the fine-tune.
+func (s *Store) AppendDigest(job, env string, fresh int, at time.Time) error {
+	payload := appendDigest(nil, job, env, fresh, at.UnixNano())
+	return s.w.append(payload)
+}
+
+// CompactNow seals nothing but compacts every already-sealed WAL
+// segment into one immutable indexed segment, then deletes the inputs.
+// It reports how many records were compacted (0 when no sealed
+// segments exist). Safe to call concurrently with appends; not with
+// Replay.
+func (s *Store) CompactNow() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	active := s.w.activeSeq()
+	seqs, err := listWALSegments(s.walDir)
+	if err != nil {
+		return 0, err
+	}
+	var sealed []uint64
+	for _, seq := range seqs {
+		if seq < active {
+			sealed = append(sealed, seq)
+		}
+	}
+	if len(sealed) == 0 {
+		return 0, nil
+	}
+	series := map[seriesKey]*seriesData{}
+	var order []seriesKey
+	records := 0
+	for _, seq := range sealed {
+		res, err := scanWALFile(filepath.Join(s.walDir, walName(seq)), s.opts.MaxRecordBytes, func(payload []byte) error {
+			r, err := decodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			k := seriesKey{job: r.job, env: r.env}
+			sd, ok := series[k]
+			if !ok {
+				sd = &seriesData{}
+				series[k] = sd
+				order = append(order, k)
+			}
+			switch r.typ {
+			case recObservation:
+				sd.add(r)
+			case recDigest:
+				sd.digests = append(sd.digests, digestMark{pos: len(sd.at), at: r.at, fresh: r.fresh})
+			}
+			records++
+			return nil
+		})
+		if err != nil || !res.clean() {
+			// Never compact past damage: the WAL stays as-is so Replay
+			// can surface the fault.
+			s.corruptSegments.Add(1)
+			if err == nil {
+				err = res.tornErr
+			}
+			return 0, fmt.Errorf("store: compaction aborted: %w", err)
+		}
+	}
+	path, err := writeSegment(s.segDir, order, series, sealed[0], sealed[len(sealed)-1])
+	if err != nil {
+		return 0, err
+	}
+	g, err := openSegment(path)
+	if err != nil {
+		return 0, err
+	}
+	// The segment is durable: the WAL inputs are redundant now.
+	for _, seq := range sealed {
+		if err := os.Remove(filepath.Join(s.walDir, walName(seq))); err != nil {
+			return 0, fmt.Errorf("store: removing compacted WAL segment: %w", err)
+		}
+	}
+	if err := syncDir(s.walDir); err != nil {
+		return 0, err
+	}
+	s.segs = append(s.segs, g)
+	s.compactions.Add(1)
+	s.compactedRecords.Add(int64(records))
+	return records, nil
+}
+
+// Series returns every persisted observation of one (job, env) key in
+// ingestion order: compacted segments via their footer indexes, then
+// the live WAL. Not safe concurrently with compaction.
+func (s *Store) Series(job, env string) ([]ObsPoint, error) {
+	s.mu.Lock()
+	segs := append([]*Segment(nil), s.segs...)
+	s.mu.Unlock()
+	var out []ObsPoint
+	for _, g := range segs {
+		pts, ok, err := g.Series(job, env)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, pts...)
+		}
+	}
+	seqs, err := listWALSegments(s.walDir)
+	if err != nil {
+		return nil, err
+	}
+	for _, seq := range seqs {
+		_, err := scanWALFile(filepath.Join(s.walDir, walName(seq)), s.opts.MaxRecordBytes, func(payload []byte) error {
+			r, err := decodeRecord(payload)
+			if err != nil || r.typ != recObservation || r.job != job || r.env != env {
+				return err
+			}
+			out = append(out, ObsPoint{At: time.Unix(0, r.at), Sample: r.sample})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Start launches the background compaction loop. Stop it with Close.
+func (s *Store) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			defer close(s.done)
+			t := time.NewTicker(s.opts.CompactInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					// Best effort: a failed compaction leaves the WAL
+					// in place and is retried next tick.
+					_, _ = s.CompactNow()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops compaction and syncs + closes the active WAL segment.
+func (s *Store) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.startOnce.Do(func() { close(s.done) })
+	<-s.done
+	return s.w.close()
+}
+
+// StoreStats snapshots the counters (named to satisfy the serve
+// layer's StoreStatser without a wrapper).
+func (s *Store) StoreStats() Stats {
+	s.mu.Lock()
+	segCount := len(s.segs)
+	s.mu.Unlock()
+	seqs, _ := listWALSegments(s.walDir)
+	return Stats{
+		WALAppends:           s.w.appends.Load(),
+		WALAppendedBytes:     s.w.appendedBytes.Load(),
+		WALSegments:          len(seqs),
+		WALActiveSeq:         s.w.activeSeq(),
+		Fsyncs:               s.w.fsyncs.Load(),
+		RepairedBytes:        s.repairedBytes.Load(),
+		ReplayedObservations: s.replayedObs.Load(),
+		ReplayedDigests:      s.replayedDigests.Load(),
+		CorruptSegments:      s.corruptSegments.Load(),
+		Compactions:          s.compactions.Load(),
+		CompactedRecords:     s.compactedRecords.Load(),
+		CompactSegments:      segCount,
+		Checkpoints:          s.checkpoints.Load(),
+		CheckpointErrors:     s.checkpointErrors.Load(),
+		CheckpointLoads:      s.checkpointLoads.Load(),
+	}
+}

@@ -1,0 +1,128 @@
+// Package storetest is the crash-injection harness for the durable
+// store: it manufactures the on-disk images a kill -9 (or torn write,
+// or bit rot) can leave behind, so recovery tests can assert that
+// replay yields a prefix-consistent state from every possible crash
+// point rather than from a handful of hand-picked ones.
+//
+// A crash during an append leaves some byte-prefix of the active WAL
+// segment durable; a crash during a seal leaves a full old segment and
+// a partial new one; a crash during a checkpoint leaves a .tmp file
+// next to (or instead of) the published checkpoint. The helpers here
+// produce exactly those images from a healthy data directory, without
+// any hooks in the production write path.
+package storetest
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// CloneDir deep-copies a data directory into a fresh temp dir, so a
+// crash image can be mutilated without disturbing the original.
+func CloneDir(t testing.TB, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("storetest: cloning %s: %v", src, err)
+	}
+	return dst
+}
+
+// WALSegments lists the WAL segment files of a data directory, oldest
+// first.
+func WALSegments(t testing.TB, dataDir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dataDir, "wal", "*.wal"))
+	if err != nil {
+		t.Fatalf("storetest: globbing WAL segments: %v", err)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// NewestWAL returns the active (highest-sequence) WAL segment path.
+func NewestWAL(t testing.TB, dataDir string) string {
+	t.Helper()
+	paths := WALSegments(t, dataDir)
+	if len(paths) == 0 {
+		t.Fatal("storetest: no WAL segments")
+	}
+	return paths[len(paths)-1]
+}
+
+// FileSize reports a file's size.
+func FileSize(t testing.TB, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("storetest: stat %s: %v", path, err)
+	}
+	return fi.Size()
+}
+
+// Truncate cuts a file to size bytes: the image of a crash that made
+// only a prefix of its writes durable.
+func Truncate(t testing.TB, path string, size int64) {
+	t.Helper()
+	if err := os.Truncate(path, size); err != nil {
+		t.Fatalf("storetest: truncating %s: %v", path, err)
+	}
+}
+
+// FlipBit inverts one bit of a file in place: the image of at-rest
+// corruption (or a misdirected write) that framing CRCs must catch.
+func FlipBit(t testing.TB, path string, bit int64) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("storetest: reading %s: %v", path, err)
+	}
+	if bit < 0 || bit >= int64(len(b))*8 {
+		t.Fatalf("storetest: bit %d out of range for %d-byte file", bit, len(b))
+	}
+	b[bit/8] ^= 1 << (bit % 8)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatalf("storetest: writing %s: %v", path, err)
+	}
+}
+
+// CrashImageAtPrefix clones the data directory and truncates its
+// newest WAL segment to keep bytes: the exact durable state after a
+// crash mid-append (or mid-seal, when keep is inside the header of a
+// freshly rolled segment).
+func CrashImageAtPrefix(t testing.TB, dataDir string, keep int64) string {
+	t.Helper()
+	img := CloneDir(t, dataDir)
+	Truncate(t, NewestWAL(t, img), keep)
+	return img
+}
+
+// WriteCheckpointTmp plants a temp checkpoint file (the image of a
+// crash before the publishing rename) with the given contents.
+func WriteCheckpointTmp(t testing.TB, dataDir, name string, contents []byte) {
+	t.Helper()
+	path := filepath.Join(dataDir, "ckpt", name+".ckpt.tmp")
+	if err := os.WriteFile(path, contents, 0o644); err != nil {
+		t.Fatalf("storetest: writing %s: %v", path, err)
+	}
+}

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func readFileT(t testing.TB, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return b
+}
+
+func writeFileT(t testing.TB, path string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+}
+
+// tinyModel builds (once) a minimal untrained model, just big enough
+// to exercise checkpoint serialization.
+var tinyModel = func() func(t testing.TB) *core.Model {
+	var once sync.Once
+	var m *core.Model
+	return func(t testing.TB) *core.Model {
+		once.Do(func() {
+			cfg := core.DefaultConfig()
+			cfg.PropertySize = 8
+			cfg.EncodingDim = 2
+			cfg.EncoderHidden = 4
+			cfg.ScaleOutHidden = 4
+			cfg.ScaleOutDim = 2
+			cfg.PredictorHidden = 4
+			cfg.Seed = 7
+			var err error
+			if m, err = core.New(cfg); err != nil {
+				t.Fatalf("core.New: %v", err)
+			}
+		})
+		return m
+	}
+}()
+
+func saveModel(t testing.TB, m *core.Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
