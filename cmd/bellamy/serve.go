@@ -25,6 +25,7 @@ func runServe(args []string) error {
 	ftWorkers := fs.Int("finetune-workers", 0, "concurrent fine-tunes (0 = NumCPU/4)")
 	ftBuffer := fs.Int("observe-buffer", lifecycle.DefaultBufferCap, "per-model observation ring capacity")
 	ftMaxKeys := fs.Int("observe-max-models", lifecycle.DefaultMaxKeys, "max distinct models holding observation buffers")
+	f64Serve := fs.Bool("f64-serve", false, "serve predictions in full float64 instead of the quantized float32 inference path")
 	dataDir := fs.String("data-dir", "", "durable store directory (WAL + compacted segments + model checkpoints); empty disables durability")
 	fsyncMode := fs.String("fsync", "always", "WAL durability: always (every append), interval (batched), never (OS page cache)")
 	compactEvery := fs.Duration("compact-interval", store.DefaultCompactInterval, "period between WAL compactions into indexed segments")
@@ -36,9 +37,10 @@ func runServe(args []string) error {
 	}
 
 	svc := serve.NewService(serve.DirLoader(*modelsDir), serve.Options{
-		ModelCap:  *modelCap,
-		ResultCap: *resultCap,
-		Workers:   *workers,
+		ModelCap:       *modelCap,
+		ResultCap:      *resultCap,
+		Workers:        *workers,
+		Float64Serving: *f64Serve,
 	})
 	var st *store.Store
 	if *dataDir != "" {

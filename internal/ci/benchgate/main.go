@@ -35,12 +35,13 @@ type benchRecord struct {
 	} `json:"after"`
 }
 
-// benchFile covers BENCH_train.json ("train" array) and
+// benchFile covers BENCH_train.json ("train" and "mat" arrays) and
 // BENCH_serve.json ("serve" and "store" arrays).
 type benchFile struct {
 	Train []benchRecord `json:"train"`
 	Serve []benchRecord `json:"serve"`
 	Store []benchRecord `json:"store"`
+	Mat   []benchRecord `json:"mat"`
 }
 
 // loadBaselines maps benchmark name -> recorded ns/op across files.
@@ -55,7 +56,7 @@ func loadBaselines(paths []string) (map[string]float64, error) {
 		if err := json.Unmarshal(b, &f); err != nil {
 			return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
 		}
-		for _, rec := range append(append(f.Train, f.Serve...), f.Store...) {
+		for _, rec := range append(append(append(f.Train, f.Serve...), f.Store...), f.Mat...) {
 			if rec.Name != "" && rec.After.NsPerOp > 0 {
 				out[rec.Name] = rec.After.NsPerOp
 			}

@@ -16,17 +16,20 @@ type Query struct {
 
 // ValidateQuery checks a query against the model's expected property
 // counts without running inference.
-func (m *Model) ValidateQuery(q Query) error {
+func (m *Model) ValidateQuery(q Query) error { return validateQuery(m.Cfg, q) }
+
+// validateQuery is the shared query check of Model and InferModel.
+func validateQuery(cfg Config, q Query) error {
 	if q.ScaleOut <= 0 {
 		return fmt.Errorf("core: scale-out %d must be positive", q.ScaleOut)
 	}
-	if len(q.Essential) != m.Cfg.NumEssential {
+	if len(q.Essential) != cfg.NumEssential {
 		return fmt.Errorf("core: got %d essential properties, model expects %d",
-			len(q.Essential), m.Cfg.NumEssential)
+			len(q.Essential), cfg.NumEssential)
 	}
-	if len(q.Optional) > m.Cfg.NumOptional {
+	if len(q.Optional) > cfg.NumOptional {
 		return fmt.Errorf("core: got %d optional properties, model allows %d",
-			len(q.Optional), m.Cfg.NumOptional)
+			len(q.Optional), cfg.NumOptional)
 	}
 	return nil
 }

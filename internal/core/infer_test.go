@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// quantTestModel pre-trains a small model on the synthetic corpus and
+// returns it with its quantized serving twin plus a query set covering
+// seen and unseen scale-outs and partial optional properties.
+func quantTestModel(t *testing.T) (*Model, *InferModel, []Query) {
+	t.Helper()
+	cfg := testConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := syntheticSamples(3, []int{2, 4, 6, 8, 10, 12})
+	if _, err := m.Pretrain(samples); err != nil {
+		t.Fatal(err)
+	}
+	im, err := m.Quantize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []Query
+	for _, s := range samples {
+		queries = append(queries, Query{ScaleOut: s.ScaleOut, Essential: s.Essential, Optional: s.Optional})
+	}
+	// Unseen scale-out, and a query with fewer optional properties than
+	// slots (exercises the zeroed-slot mean path).
+	queries = append(queries,
+		Query{ScaleOut: 16, Essential: samples[0].Essential, Optional: samples[0].Optional},
+		Query{ScaleOut: 5, Essential: samples[0].Essential, Optional: samples[0].Optional[:1]},
+		Query{ScaleOut: 7, Essential: samples[0].Essential},
+	)
+	return m, im, queries
+}
+
+// TestQuantizedPredictionAccuracy pins the float32 round-trip bound the
+// serving layer documents: quantized predictions stay within 1e-3
+// relative of the float64 model across the corpus (typical drift is
+// ~1e-5; the bound leaves room for the prediction's sensitivity to
+// float32 weight rounding through two nonlinear layers).
+func TestQuantizedPredictionAccuracy(t *testing.T) {
+	m, im, queries := quantTestModel(t)
+
+	want := make([]float64, len(queries))
+	if err := m.PredictBatchInto(want, queries); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(queries))
+	if err := im.PredictBatchInto(got, queries); err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		rel := math.Abs(got[i]-want[i]) / (1 + math.Abs(want[i]))
+		if rel > 1e-3 {
+			t.Fatalf("query %d: quantized %v vs float64 %v (rel err %.3g > 1e-3)", i, got[i], want[i], rel)
+		}
+		if got[i] < 0 {
+			t.Fatalf("query %d: negative runtime %v", i, got[i])
+		}
+	}
+
+	// Single-query Predict agrees with the batch path to float32 kernel
+	// rounding: the strided asm kernels process rows in blocks of 4, so
+	// a row's accumulation order depends on its position in the batch
+	// (asm 4-block vs scalar tail) — a few f32 ulps, nowhere near the
+	// 1e-3 quantization bound.
+	q := queries[0]
+	single, err := im.Predict(q.ScaleOut, q.Essential, q.Optional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(single-got[0]) / (1 + math.Abs(got[0])); rel > 1e-4 {
+		t.Fatalf("Predict = %v, batch row 0 = %v (rel err %.3g)", single, got[0], rel)
+	}
+}
+
+// TestQuantizeCarriesMetadata checks the serving model keeps the
+// provenance the allocation engine's fallback decision consults, and
+// that validation matches the float64 model.
+func TestQuantizeCarriesMetadata(t *testing.T) {
+	m, im, _ := quantTestModel(t)
+	if im.Pretrained() != m.Pretrained() {
+		t.Fatalf("Pretrained = %v, want %v", im.Pretrained(), m.Pretrained())
+	}
+	if im.FinetuneSamples() != m.FinetuneSamples() {
+		t.Fatalf("FinetuneSamples = %d, want %d", im.FinetuneSamples(), m.FinetuneSamples())
+	}
+	if err := im.ValidateQuery(Query{ScaleOut: 0}); err == nil {
+		t.Fatal("zero scale-out not rejected")
+	}
+	if err := im.ValidateQuery(Query{ScaleOut: 2}); err == nil {
+		t.Fatal("missing essential properties not rejected")
+	}
+}
+
+// TestInferPredictBatchZeroAllocWarm pins the float32 serving path's
+// steady state: after one warming call, PredictBatchInto of the same
+// batch size allocates nothing.
+func TestInferPredictBatchZeroAllocWarm(t *testing.T) {
+	_, im, queries := quantTestModel(t)
+	dst := make([]float64, len(queries))
+	if err := im.PredictBatchInto(dst, queries); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := im.PredictBatchInto(dst, queries); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm quantized PredictBatchInto allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,61 @@
+//go:build !amd64 || noasm
+
+package mat
+
+// Pure-Go builds (non-amd64, or the noasm escape hatch) carry no
+// assembly kernels. Family selection never picks famAsm when hasAsm is
+// false, so these stubs exist only to satisfy the compiler; reaching
+// one means the selection chain is broken, which is worth a loud crash.
+const hasAsm = false
+
+func dgemmMicro4x8(acc *[kernelMR][kernelNRAsm]float64, ap, bp *float64, kc int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func daxpy4(dst, b *float64, ldb int, a *[4]float64, n int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func daxpy1(dst, b *float64, a float64, n int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func ddot4(x, r *float64, ldr, n int) (s0, s1, s2, s3 float64) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func sgemmMicro4x16(acc *[kernelMR][kernelNR32]float32, ap, bp *float32, kc int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func saxpy4(dst, b *float32, ldb int, a *[4]float32, n int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func saxpy1(dst, b *float32, a float32, n int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func sdot4(x, r *float32, ldr, n int) (s0, s1, s2, s3 float32) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func dgemmRows4x8(dst *float64, ldd int, a *float64, lda int, b *float64, ldb int, k int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func dgemmRows4x4(dst *float64, ldd int, a *float64, lda int, b *float64, ldb int, k int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func sgemmRows4x8(dst *float32, ldd int, a *float32, lda int, b *float32, ldb int, k int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func sgemmRows4x4(dst *float32, ldd int, a *float32, lda int, b *float32, ldb int, k int) {
+	panic("mat: asm kernel called on a noasm build")
+}
+
+func vselu32(v *float32, n int, lambda, lambdaAlpha float32) {
+	panic("mat: asm kernel called on a noasm build")
+}

@@ -9,3 +9,8 @@ package mat
 // the plain multiply-add family wins (measured on Skylake-class cores).
 // Build with GOAMD64=v3 to unlock the FMA kernels.
 const fmaBranchFree = false
+
+// fmaGuaranteed reports whether the compile target guarantees fast
+// hardware FMA, making the startup timing probe unnecessary. A v1
+// build cannot assume it.
+const fmaGuaranteed = false

@@ -1,0 +1,12 @@
+//go:build amd64 && amd64.v3
+
+package mat
+
+// fmaBranchFree: on GOAMD64=v3+ builds math.FMA compiles to a bare
+// VFMADD with no feature-flag branch.
+const fmaBranchFree = true
+
+// fmaGuaranteed: the v3 ABI requires FMA hardware, so the Go-FMA
+// family is known fast at compile time and the startup timing probe
+// never runs — family selection is fully deterministic.
+const fmaGuaranteed = true

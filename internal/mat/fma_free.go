@@ -1,10 +1,13 @@
-//go:build !amd64 || amd64.v3
+//go:build !amd64
 
 package mat
 
 // fmaBranchFree reports whether math.FMA compiles to a bare fused
-// instruction: true on GOAMD64=v3+ builds and on every non-amd64
-// architecture with an intrinsified math.FMA (arm64, ppc64, riscv64,
-// s390x, ...). Architectures whose math.FMA falls back to software
-// emulation are caught at runtime by the fmaIsFast probe instead.
+// instruction: true on every non-amd64 architecture with an
+// intrinsified math.FMA (arm64, ppc64, riscv64, s390x, ...).
 const fmaBranchFree = true
+
+// fmaGuaranteed is false off amd64: some architectures emulate
+// math.FMA in software (orders of magnitude slower), which only the
+// fmaIsFast runtime probe can detect.
+const fmaGuaranteed = false

@@ -2,20 +2,22 @@ package mat
 
 import (
 	"math"
+	"os"
 	"time"
 )
 
-// Register-tiled multiply kernels. Two families live here:
+// Register-tiled multiply kernels. Two kernel shapes live here:
 //
-//   - microTile: the packed 4x4 micro-kernel of the blocked GEMM path.
-//     It multiplies a kernelMR-wide packed A panel by a kernelNR-wide
-//     packed B panel, keeping the output tile in registers across the k
-//     loop. The 4x4 tile is computed as two 2x4 register halves: 8
-//     accumulators plus 6 operands fit amd64's 16 float registers,
-//     whereas a monolithic 4x4 (16 accumulators) spills half its tile
-//     to the stack on every iteration — measured ~1.6x slower.
-//     Operands come from pack.go's contiguous panels, so every load is
-//     sequential and bounds checks vanish.
+//   - microTile: the packed micro-kernel of the blocked GEMM path. It
+//     multiplies a kernelMR-wide packed A panel by a packNR-wide packed
+//     B panel, keeping the output tile in registers across the k loop.
+//     The asm family runs a 4x8 tile (8 ymm accumulators, FMA-bound on
+//     two FMA ports); the Go families run a 4x4 tile as two 2x4
+//     register halves — 8 accumulators plus 6 operands fit amd64's 16
+//     float registers, whereas a monolithic 4x4 (16 accumulators)
+//     spills half its tile to the stack on every iteration — measured
+//     ~1.6x slower. Operands come from pack.go's contiguous panels, so
+//     every load is sequential and bounds checks vanish.
 //
 //   - mulRows / mulATBAccRange / mulABTRows / mulVecRows: direct
 //     register-tiled kernels that run straight on the row-major
@@ -25,27 +27,80 @@ import (
 //     independent accumulator chains for instruction-level parallelism.
 //     They serve the small/skinny products of the Bellamy MLPs, the
 //     products whose B operand still fits in L2 (where packing is pure
-//     overhead), and the transposed products.
-//
-// Every kernel has a fused-multiply-add variant and a plain
-// multiply-add variant; fmaKernels picks the family once at startup:
-//
-//   - math.FMA must be hardware-fused (the software fallback is orders
-//     of magnitude slower) — detected by the timing probe below; and
-//   - the intrinsic must be branch-free. On amd64 below GOAMD64=v3 the
-//     ABI guards every FMA with a load-and-branch on a CPU feature
-//     flag, which costs more than the fusion saves in these
-//     load-dense loops (measured: the plain tree kernels win at every
-//     size on a v1 build, the FMA kernels win ~1.2-2x on a v3 build,
-//     where two FMA ports double the op density of mul+add pairs).
-//     Captured at compile time by the fmaBranchFree constant.
+//     overhead), and the transposed products. Under the asm family
+//     their inner loops run through the daxpy4/ddot4 AVX2 helpers of
+//     kernel_asm.go.
 //
 // None of the kernels branch on zero operands: the old `av == 0` skip
 // helped only on artificially sparse data and defeated pipelining on
 // the dense matrices that dominate training and serving.
 
-// fmaKernels selects the fused-multiply-add kernel family.
-var fmaKernels = fmaBranchFree && fmaIsFast()
+// kernelFamily identifies one implementation family of the multiply
+// kernels. The fallback chain is famAsm → famFMA → famPlain: the
+// hand-written AVX2/FMA3 kernels when the CPU has them, the Go kernels
+// built on the math.FMA intrinsic when it is branch-free and
+// hardware-fused, the plain multiply-add kernels otherwise.
+type kernelFamily uint8
+
+const (
+	famPlain kernelFamily = iota
+	famFMA
+	famAsm
+)
+
+func (f kernelFamily) String() string {
+	switch f {
+	case famAsm:
+		return "asm"
+	case famFMA:
+		return "fma"
+	default:
+		return "plain"
+	}
+}
+
+// kernelEnv forces a kernel family, overriding detection: "asm", "fma"
+// or "plain". The equivalence suite uses it to pin a family per run;
+// forcing "asm" on a build or CPU without the kernels falls back to
+// the automatic chain.
+const kernelEnv = "BELLAMY_MAT_KERNEL"
+
+// family is the kernel family every multiply in this process runs,
+// fixed at startup.
+var family = selectFamily(os.Getenv(kernelEnv))
+
+// KernelFamily reports the selected multiply-kernel family ("asm",
+// "fma" or "plain") for startup logging and diagnostics.
+func KernelFamily() string { return family.String() }
+
+// selectFamily resolves the kernel family once at init. Compile-time
+// and cpuid signals decide everything on amd64 (GOAMD64 fixes the
+// math.FMA codegen, cpuid fixes asm availability), so selection there
+// is deterministic under CPU-frequency jitter; the fmaIsFast timing
+// probe runs only on non-amd64 builds, where a hardware-looking
+// math.FMA may still be software emulation.
+func selectFamily(forced string) kernelFamily {
+	switch forced {
+	case "asm":
+		if hasAsm {
+			return famAsm
+		}
+	case "fma":
+		return famFMA
+	case "plain":
+		return famPlain
+	}
+	if hasAsm {
+		return famAsm
+	}
+	if fmaGuaranteed {
+		return famFMA
+	}
+	if fmaBranchFree && fmaIsFast() {
+		return famFMA
+	}
+	return famPlain
+}
 
 var probeSink float64
 
@@ -83,12 +138,32 @@ func fmaIsFast() bool {
 
 // microTile computes dst[i0:i0+mr, j0:j0+nr] += Ap * Bp over kc packed
 // steps. ap holds kc groups of kernelMR row values, bp holds kc groups
-// of kernelNR column values; out-of-range lanes are zero-padded by the
+// of packNR column values; out-of-range lanes are zero-padded by the
 // packers, so the register tile always runs full width and only the
 // writeback is masked to mr x nr.
 func microTile(dst *Dense, i0, j0, mr, nr int, ap, bp []float64, kc int) {
+	if family == famAsm {
+		var acc [kernelMR][kernelNRAsm]float64
+		dgemmMicro4x8(&acc, &ap[0], &bp[0], kc)
+		if mr == kernelMR && nr == kernelNRAsm {
+			for r := 0; r < kernelMR; r++ {
+				row := dst.Row(i0 + r)[j0 : j0+kernelNRAsm : j0+kernelNRAsm]
+				for c, v := range &acc[r] {
+					row[c] += v
+				}
+			}
+			return
+		}
+		for r := 0; r < mr; r++ {
+			row := dst.Row(i0 + r)
+			for c := 0; c < nr; c++ {
+				row[j0+c] += acc[r][c]
+			}
+		}
+		return
+	}
 	var acc [kernelMR][kernelNR]float64
-	if fmaKernels {
+	if family == famFMA {
 		microTileFMA(&acc, ap, bp, kc)
 	} else {
 		microTilePlain(&acc, ap, bp, kc)
@@ -205,8 +280,12 @@ func microTilePlain(acc *[kernelMR][kernelNR]float64, ap, bp []float64, kc int) 
 // independent 4-deep chains to stay ahead of the fused-multiply-add
 // latency; the plain variant sums a balanced tree.
 func mulRows(dst, a, b *Dense, lo, hi int) {
+	if family == famAsm {
+		mulRowsAsm(dst, a, b, lo, hi)
+		return
+	}
 	k := a.Cols
-	fma := fmaKernels
+	fma := family == famFMA
 	for i := lo; i < hi; i++ {
 		ar := a.Row(i)
 		or := dst.Row(i)
@@ -269,9 +348,13 @@ func mulRows(dst, a, b *Dense, lo, hi int) {
 // the same kernel serve as a panel body for the worker pool: a worker
 // owning an output-row panel re-reads b but touches only its dst rows.
 func mulATBAccRange(dst, a, b *Dense, lo, hi int) {
+	if family == famAsm {
+		mulATBAccRangeAsm(dst, a, b, lo, hi)
+		return
+	}
 	rows := a.Rows
 	cb := b.Cols
-	fma := fmaKernels
+	fma := family == famFMA
 	k := 0
 	for ; k+4 <= rows; k += 4 {
 		ar0 := a.Row(k)[lo:hi]
@@ -313,8 +396,12 @@ func mulATBAccRange(dst, a, b *Dense, lo, hi int) {
 // products against 4 (contiguous) b rows, giving 4 independent
 // accumulator chains instead of one latency-bound chain per element.
 func mulABTRows(dst, a, b *Dense, lo, hi int) {
+	if family == famAsm {
+		mulABTRowsAsm(dst, a, b, lo, hi)
+		return
+	}
 	nb := b.Rows
-	fma := fmaKernels
+	fma := family == famFMA
 	for i := lo; i < hi; i++ {
 		ar := a.Row(i)
 		or := dst.Row(i)
@@ -354,7 +441,11 @@ func mulABTRows(dst, a, b *Dense, lo, hi int) {
 // mulVecRows computes rows [lo,hi) of a*x into dst. Rows are tiled 4 at
 // a time so every load of x feeds 4 independent accumulator chains.
 func mulVecRows(dst []float64, a *Dense, x []float64, lo, hi int) {
-	fma := fmaKernels
+	if family == famAsm {
+		mulVecRowsAsm(dst, a, x, lo, hi)
+		return
+	}
+	fma := family == famFMA
 	i := lo
 	for ; i+4 <= hi; i += 4 {
 		ar0 := a.Row(i)
@@ -394,7 +485,7 @@ func mulVecRows(dst []float64, a *Dense, x []float64, lo, hi int) {
 func dotUnrolled(a, b []float64) float64 {
 	var s0, s1, s2, s3 float64
 	k := 0
-	if fmaKernels {
+	if family == famFMA {
 		for ; k+4 <= len(a); k += 4 {
 			s0 = math.FMA(a[k], b[k], s0)
 			s1 = math.FMA(a[k+1], b[k+1], s1)

@@ -77,15 +77,16 @@ func MulTo(dst, a, b *Dense) {
 // worker pool, each worker packing its own A block.
 func mulPacked(dst, a, b *Dense) {
 	m, k, n := a.Rows, a.Cols, b.Cols
+	nr := packNR
 	kc0 := min(k, blockKC)
 	nc0 := min(n, blockNC)
-	sb := getScratchB(packedPanels(nc0, kernelNR, kc0))
+	sb := getScratchB(packedPanels(nc0, nr, kc0))
 	for pc := 0; pc < k; pc += blockKC {
 		kc := min(blockKC, k-pc)
 		for jc := 0; jc < n; jc += blockNC {
 			nc := min(blockNC, n-jc)
-			bp := sb.b.Data[:packedPanels(nc, kernelNR, kc)]
-			packB(bp, b, pc, kc, jc, nc)
+			bp := sb.b.Data[:packedPanels(nc, nr, kc)]
+			packB(bp, b, pc, kc, jc, nc, nr)
 			nPanels := (m + blockMC - 1) / blockMC
 			if nPanels > 1 && m*kc*nc >= parallelThreshold {
 				j := newJob(opMulPacked, blockMC, nPanels)
@@ -101,20 +102,22 @@ func mulPacked(dst, a, b *Dense) {
 }
 
 // mulPackedPanels computes output-row panels [p0,p1) of the current
-// cache block: pack the A block, then run the 4x4 micro-kernel over
-// every (column panel, row tile) pair, with the column panel of B held
-// hot in L1 across the row tiles.
+// cache block: pack the A block, then run the micro-kernel over every
+// (column panel, row tile) pair, with the column panel of B held hot in
+// L1 across the row tiles. The column-panel width follows the selected
+// kernel family (packNR).
 func mulPackedPanels(dst, a *Dense, bp []float64, pc, kc, jc, nc, p0, p1 int) {
 	m := a.Rows
+	wNR := packNR
 	sa := getScratchA(packedPanels(blockMC, kernelMR, kc))
 	ap := sa.a.Data
 	for p := p0; p < p1; p++ {
 		i0 := p * blockMC
 		mc := min(blockMC, m-i0)
 		packA(ap, a, i0, mc, pc, kc)
-		for jr := 0; jr < nc; jr += kernelNR {
-			nr := min(kernelNR, nc-jr)
-			bpp := bp[(jr/kernelNR)*kc*kernelNR:]
+		for jr := 0; jr < nc; jr += wNR {
+			nr := min(wNR, nc-jr)
+			bpp := bp[(jr/wNR)*kc*wNR:]
 			for ir := 0; ir < mc; ir += kernelMR {
 				mr := min(kernelMR, mc-ir)
 				microTile(dst, i0+ir, jc+jr, mr, nr, ap[(ir/kernelMR)*kc*kernelMR:], bpp, kc)

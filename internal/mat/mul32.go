@@ -1,0 +1,433 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Float32 multiply dispatch, mirroring mul.go tier for tier: direct
+// register-tiled row kernels for the small/skinny inference shapes, a
+// packed blocked path for large products, and worker-pool fan-out over
+// output-row panels past parallelThreshold. Under the asm family the
+// inner loops run the AVX2 float32 helpers (saxpy4/sdot4-class kernels,
+// 8 lanes per register); the fallback is a plain multiply-add Go kernel
+// — the math.FMA intrinsic is float64-only, so there is no f32 Go-FMA
+// family and famFMA shares the plain f32 loops.
+
+// packNR32 is the packed-B panel width of the f32 path for the selected
+// family.
+func packNR32() int {
+	if family == famAsm {
+		return kernelNR32
+	}
+	return kernelNR
+}
+
+// MulToF32 computes dst = a*b, fully overwriting dst. dst must be
+// a.Rows x b.Cols and must not alias a or b.
+func MulToF32(dst, a, b *DenseF32) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulToF32 inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulToF32 dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	if usePacked(m, k, n) {
+		mulPacked32(dst, a, b)
+		return
+	}
+	nPanels := (m + rowPanel - 1) / rowPanel
+	if m*k*n >= parallelThreshold && nPanels > 1 {
+		j := newJob(opMulRows32, rowPanel, nPanels)
+		j.dst32, j.a32, j.b32 = dst, a, b
+		runParallel(j)
+		return
+	}
+	mulRows32(dst, a, b, 0, m)
+}
+
+// mulRows32 accumulates rows [lo,hi) of a*b into dst (rows pre-zeroed).
+func mulRows32(dst, a, b *DenseF32, lo, hi int) {
+	k := a.Cols
+	n := dst.Cols
+	if n == 0 || k == 0 {
+		return
+	}
+	if family == famAsm {
+		if n == 1 {
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				dst.Data[i], dst.Data[i+1], dst.Data[i+2], dst.Data[i+3] =
+					sdot4(&b.Data[0], &a.Data[i*k], k, k)
+			}
+			for ; i < hi; i++ {
+				dst.Data[i] = dot32(a.Row(i), b.Data)
+			}
+			return
+		}
+		if n < saxpyMinN {
+			// Skinny outputs (the inference MLP layers are 3..16 wide):
+			// strided row kernels keep 4 dst rows in registers across
+			// the whole k loop instead of a saxpy call per 4 k-steps.
+			ns := n &^ 3 // columns covered by the 8/4-wide strips
+			i := lo
+			for ; i+4 <= hi; i += 4 {
+				ar := &a.Data[i*k]
+				j := 0
+				for ; j+8 <= ns; j += 8 {
+					sgemmRows4x8(&dst.Data[i*n+j], n, ar, k, &b.Data[j], n, k)
+				}
+				for ; j+4 <= ns; j += 4 {
+					sgemmRows4x4(&dst.Data[i*n+j], n, ar, k, &b.Data[j], n, k)
+				}
+			}
+			if i < hi && ns > 0 {
+				mulRowsColsPlain32(dst, a, b, i, hi, 0, ns)
+			}
+			if ns < n {
+				mulRowsTailCols32(dst, a, b, lo, hi, ns)
+			}
+			return
+		}
+		var av [4]float32
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := &dst.Row(i)[0]
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				av[0], av[1], av[2], av[3] = ar[p], ar[p+1], ar[p+2], ar[p+3]
+				saxpy4(or, &b.Data[p*n], n, &av, n)
+			}
+			for ; p < k; p++ {
+				saxpy1(or, &b.Data[p*n], ar[p], n)
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)
+		or := dst.Row(i)
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a0, a1, a2, a3 := ar[p], ar[p+1], ar[p+2], ar[p+3]
+			b0 := b.Row(p)[:n:n]
+			b1 := b.Row(p + 1)[:n:n]
+			b2 := b.Row(p + 2)[:n:n]
+			b3 := b.Row(p + 3)[:n:n]
+			for j := range or {
+				or[j] += (a0*b0[j] + a1*b1[j]) + (a2*b2[j] + a3*b3[j])
+			}
+		}
+		for ; p < k; p++ {
+			av := ar[p]
+			br := b.Row(p)[:n:n]
+			for j := range or {
+				or[j] += av * br[j]
+			}
+		}
+	}
+}
+
+// saxpyMinN is the float32 analogue of daxpyMinN: twice as wide
+// because each saxpy4 step covers 8 lanes per ymm instead of 4.
+const saxpyMinN = 64
+
+// mulRowsColsPlain32 is the scalar ragged-edge helper for the asm
+// branch of mulRows32: rows [r0,r1), columns [j0,j1) accumulated.
+func mulRowsColsPlain32(dst, a, b *DenseF32, r0, r1, j0, j1 int) {
+	k := a.Cols
+	for i := r0; i < r1; i++ {
+		ar := a.Row(i)
+		or := dst.Row(i)[j0:j1]
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			br := b.Row(p)[j0:j1]
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+}
+
+// mulRowsTailCols32 finishes the 1..3 columns the 4-wide strips cannot
+// cover, for all rows [lo,hi): each tail column of b is copied into a
+// contiguous stack buffer so sdot4 turns the column into 4-row dot
+// products — the strided scalar loop this replaces was the hottest
+// path on layer widths like 3 and 6.
+func mulRowsTailCols32(dst, a, b *DenseF32, lo, hi, j0 int) {
+	k := a.Cols
+	n := dst.Cols
+	var colBuf [512]float32
+	if k > len(colBuf) {
+		mulRowsColsPlain32(dst, a, b, lo, hi, j0, n)
+		return
+	}
+	col := colBuf[:k]
+	for j := j0; j < n; j++ {
+		for p := range col {
+			col[p] = b.Data[p*n+j]
+		}
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			s0, s1, s2, s3 := sdot4(&col[0], &a.Data[i*k], k, k)
+			dst.Data[i*n+j] += s0
+			dst.Data[(i+1)*n+j] += s1
+			dst.Data[(i+2)*n+j] += s2
+			dst.Data[(i+3)*n+j] += s3
+		}
+		for ; i < hi; i++ {
+			dst.Data[i*n+j] += dot32(a.Row(i), col)
+		}
+	}
+}
+
+// Selu32 applies SELU elementwise in place using the AVX2 vectorized
+// exp kernel. Returns false (leaving v untouched) when the asm family
+// is unavailable; callers keep their scalar path as the fallback. The
+// vector exp matches the scalar Cephes polynomial but fuses its
+// multiply-adds, so results may differ from the scalar path by ~1 ulp.
+func Selu32(v []float32, lambda, lambdaAlpha float32) bool {
+	if family != famAsm {
+		return false
+	}
+	n := len(v) &^ 7
+	if n > 0 {
+		vselu32(&v[0], n, lambda, lambdaAlpha)
+	}
+	if t := len(v) - n; t > 0 {
+		var buf [8]float32
+		copy(buf[:], v[n:])
+		vselu32(&buf[0], 8, lambda, lambdaAlpha)
+		copy(v[n:], buf[:t])
+	}
+	return true
+}
+
+// MulVecToF32 computes dst = a*x, fully overwriting dst.
+func MulVecToF32(dst []float32, a *DenseF32, x []float32) {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVecToF32 dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	if len(dst) != a.Rows {
+		panic(fmt.Sprintf("mat: MulVecToF32 dst len %d != rows %d", len(dst), a.Rows))
+	}
+	if a.Rows == 0 {
+		return
+	}
+	k := a.Cols
+	if k == 0 {
+		clear(dst)
+		return
+	}
+	if family == famAsm {
+		i := 0
+		for ; i+4 <= a.Rows; i += 4 {
+			dst[i], dst[i+1], dst[i+2], dst[i+3] = sdot4(&x[0], &a.Data[i*k], k, k)
+		}
+		for ; i < a.Rows; i++ {
+			dst[i] = dot32(a.Row(i), x)
+		}
+		return
+	}
+	for i := 0; i < a.Rows; i++ {
+		dst[i] = dot32(a.Row(i), x)
+	}
+}
+
+// dot32 is the float32 dotUnrolled: 4 partial sums break the add
+// latency chain.
+func dot32(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		s0 += a[k] * b[k]
+		s1 += a[k+1] * b[k+1]
+		s2 += a[k+2] * b[k+2]
+		s3 += a[k+3] * b[k+3]
+	}
+	var s float32
+	for ; k < len(a); k++ {
+		s += a[k] * b[k]
+	}
+	return s0 + s1 + s2 + s3 + s
+}
+
+// gemmScratch32 holds one goroutine's float32 pack buffers, recycled
+// through their own pool (see gemmScratch for the rationale).
+type gemmScratch32 struct {
+	a, b *DenseF32
+}
+
+var scratchPool32 = sync.Pool{New: func() any { return new(gemmScratch32) }}
+
+// mulPacked32 is the float32 blocked GEMM driver, the twin of
+// mulPacked: B packed once per cache block, blockMC row panels fanned
+// across the pool past the parallel threshold.
+func mulPacked32(dst, a, b *DenseF32) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	nr := packNR32()
+	kc0 := min(k, blockKC)
+	nc0 := min(n, blockNC)
+	sb := scratchPool32.Get().(*gemmScratch32)
+	sb.b = Resized32(sb.b, 1, packedPanels(nc0, nr, kc0))
+	for pc := 0; pc < k; pc += blockKC {
+		kc := min(blockKC, k-pc)
+		for jc := 0; jc < n; jc += blockNC {
+			nc := min(blockNC, n-jc)
+			bp := sb.b.Data[:packedPanels(nc, nr, kc)]
+			packB32(bp, b, pc, kc, jc, nc, nr)
+			nPanels := (m + blockMC - 1) / blockMC
+			if nPanels > 1 && m*kc*nc >= parallelThreshold {
+				j := newJob(opMulPacked32, blockMC, nPanels)
+				j.dst32, j.a32, j.bp32 = dst, a, bp
+				j.pc, j.kc, j.jc, j.nc = pc, kc, jc, nc
+				runParallel(j)
+				continue
+			}
+			mulPackedPanels32(dst, a, bp, pc, kc, jc, nc, 0, nPanels)
+		}
+	}
+	putScratch32(sb)
+}
+
+func putScratch32(s *gemmScratch32) { scratchPool32.Put(s) }
+
+// mulPackedPanels32 computes output-row panels [p0,p1) of the current
+// f32 cache block.
+func mulPackedPanels32(dst, a *DenseF32, bp []float32, pc, kc, jc, nc, p0, p1 int) {
+	m := a.Rows
+	wNR := packNR32()
+	sa := scratchPool32.Get().(*gemmScratch32)
+	sa.a = Resized32(sa.a, 1, packedPanels(blockMC, kernelMR, kc))
+	ap := sa.a.Data
+	for p := p0; p < p1; p++ {
+		i0 := p * blockMC
+		mc := min(blockMC, m-i0)
+		packA32(ap, a, i0, mc, pc, kc)
+		for jr := 0; jr < nc; jr += wNR {
+			nr := min(wNR, nc-jr)
+			bpp := bp[(jr/wNR)*kc*wNR:]
+			for ir := 0; ir < mc; ir += kernelMR {
+				mr := min(kernelMR, mc-ir)
+				microTile32(dst, i0+ir, jc+jr, mr, nr, ap[(ir/kernelMR)*kc*kernelMR:], bpp, kc)
+			}
+		}
+	}
+	putScratch32(sa)
+}
+
+// microTile32 computes dst[i0:i0+mr, j0:j0+nr] += Ap * Bp over kc
+// packed steps: the 4x16 asm tile under famAsm, a plain-Go 4x4 tile
+// otherwise. Writeback is masked to mr x nr.
+func microTile32(dst *DenseF32, i0, j0, mr, nr int, ap, bp []float32, kc int) {
+	if family == famAsm {
+		var acc [kernelMR][kernelNR32]float32
+		sgemmMicro4x16(&acc, &ap[0], &bp[0], kc)
+		if mr == kernelMR && nr == kernelNR32 {
+			for r := 0; r < kernelMR; r++ {
+				row := dst.Row(i0 + r)[j0 : j0+kernelNR32 : j0+kernelNR32]
+				for c, v := range &acc[r] {
+					row[c] += v
+				}
+			}
+			return
+		}
+		for r := 0; r < mr; r++ {
+			row := dst.Row(i0 + r)
+			for c := 0; c < nr; c++ {
+				row[j0+c] += acc[r][c]
+			}
+		}
+		return
+	}
+	var acc [kernelMR][kernelNR]float32
+	n4 := 4 * kc
+	aps := ap[:n4]
+	bps := bp[:n4]
+	for q := 0; q+4 <= n4; q += 4 {
+		a0, a1, a2, a3 := aps[q], aps[q+1], aps[q+2], aps[q+3]
+		b0, b1, b2, b3 := bps[q], bps[q+1], bps[q+2], bps[q+3]
+		acc[0][0] += a0 * b0
+		acc[0][1] += a0 * b1
+		acc[0][2] += a0 * b2
+		acc[0][3] += a0 * b3
+		acc[1][0] += a1 * b0
+		acc[1][1] += a1 * b1
+		acc[1][2] += a1 * b2
+		acc[1][3] += a1 * b3
+		acc[2][0] += a2 * b0
+		acc[2][1] += a2 * b1
+		acc[2][2] += a2 * b2
+		acc[2][3] += a2 * b3
+		acc[3][0] += a3 * b0
+		acc[3][1] += a3 * b1
+		acc[3][2] += a3 * b2
+		acc[3][3] += a3 * b3
+	}
+	for r := 0; r < mr; r++ {
+		row := dst.Row(i0 + r)
+		for c := 0; c < nr; c++ {
+			row[j0+c] += acc[r][c]
+		}
+	}
+}
+
+// zeroPad32 supplies zero rows for edge panels; blockKC bounds kc.
+var zeroPad32 [blockKC]float32
+
+// packA32 copies the mc x kc block of a at (i0, p0) into dst as
+// kernelMR-row panels, k-major, zero-padding short panels.
+func packA32(dst []float32, a *DenseF32, i0, mc, p0, kc int) {
+	for ip := 0; ip < mc; ip += kernelMR {
+		r0 := a.Row(i0 + ip)[p0 : p0+kc]
+		r1, r2, r3 := zeroPad32[:kc], zeroPad32[:kc], zeroPad32[:kc]
+		if ip+1 < mc {
+			r1 = a.Row(i0 + ip + 1)[p0 : p0+kc]
+		}
+		if ip+2 < mc {
+			r2 = a.Row(i0 + ip + 2)[p0 : p0+kc]
+		}
+		if ip+3 < mc {
+			r3 = a.Row(i0 + ip + 3)[p0 : p0+kc]
+		}
+		for k := 0; k < kc; k++ {
+			dst[0] = r0[k]
+			dst[1] = r1[k]
+			dst[2] = r2[k]
+			dst[3] = r3[k]
+			dst = dst[4:]
+		}
+	}
+}
+
+// packB32 copies the kc x nc block of b at (p0, j0) into dst as
+// nr-column panels, k-major, zero-padding short panels.
+func packB32(dst []float32, b *DenseF32, p0, kc, j0, nc, nr int) {
+	for jp := 0; jp < nc; jp += nr {
+		w := nc - jp
+		if w >= nr {
+			for k := 0; k < kc; k++ {
+				row := b.Row(p0 + k)[j0+jp : j0+jp+nr : j0+jp+nr]
+				copy(dst[:nr], row)
+				dst = dst[nr:]
+			}
+			continue
+		}
+		for k := 0; k < kc; k++ {
+			row := b.Row(p0 + k)[j0+jp : j0+nc]
+			for c := 0; c < nr; c++ {
+				if c < len(row) {
+					dst[c] = row[c]
+				} else {
+					dst[c] = 0
+				}
+			}
+			dst = dst[nr:]
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Float32 kernel equivalence: the f32 serving kernels are validated
+// against the float64 oracle on float32-rounded inputs, so the only
+// admissible error is f32 summation rounding. The bound scales with
+// the reduction depth like tolClose, at float32 epsilon.
+
+func tolClose32(got float32, want float64, k int) bool {
+	d := math.Abs(float64(got) - want)
+	return d <= 2e-6*float64(k+1)*(1+math.Abs(want))
+}
+
+// randomDense32 draws a float32 matrix plus its exact float64 shadow:
+// the f64 copy holds the same (f32-representable) values, so oracle
+// products differ from the f32 kernels only by accumulation rounding.
+func randomDense32(rng *rand.Rand, rows, cols int) (*DenseF32, *Dense) {
+	q := NewDenseF32(rows, cols)
+	d := NewDense(rows, cols)
+	for i := range q.Data {
+		v := float32(rng.NormFloat64())
+		q.Data[i] = v
+		d.Data[i] = float64(v)
+	}
+	return q, d
+}
+
+func equalishTol32(t *testing.T, name string, got *DenseF32, want *Dense, k int) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i, v := range got.Data {
+		if !tolClose32(v, want.Data[i], k) {
+			t.Fatalf("%s: element %d = %v, want %v (reduction depth %d)", name, i, v, want.Data[i], k)
+		}
+	}
+}
+
+// TestF32FamiliesMatchRef sweeps the float32 kernels across every
+// runnable family and a set of ragged shapes: the direct row kernel,
+// the packed path forced regardless of size gates (4x16 asm tile and
+// 4x4 Go tile both see partial panels), and the vector kernel.
+func TestF32FamiliesMatchRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, fam := range testFamilies() {
+		setFamily(t, fam)
+		name := "family=" + fam.String()
+		for _, s := range []struct{ m, k, n int }{{37, 23, 19}, {70, 67, 66}, {5, 300, 47}, {16, 16, 16}, {33, 29, 1}, {9, 40, 8}} {
+			a32, a := randomDense32(rng, s.m, s.k)
+			b32, b := randomDense32(rng, s.k, s.n)
+			want := NewDense(s.m, s.n)
+			refMulTo(want, a, b)
+
+			got := NewDenseF32(s.m, s.n)
+			MulToF32(got, a32, b32)
+			equalishTol32(t, "MulToF32/"+name, got, want, s.k)
+
+			got.Zero()
+			mulPacked32(got, a32, b32) // packed path, forced
+			equalishTol32(t, "mulPacked32/"+name, got, want, s.k)
+
+			x32 := make([]float32, s.k)
+			x := make([]float64, s.k)
+			for i := range x32 {
+				x32[i] = b32.Data[i]
+				x[i] = float64(b32.Data[i])
+			}
+			wantV := make([]float64, s.m)
+			refMulVecTo(wantV, a, x)
+			gotV := make([]float32, s.m)
+			MulVecToF32(gotV, a32, x32)
+			for i := range wantV {
+				if !tolClose32(gotV[i], wantV[i], s.k) {
+					t.Fatalf("MulVecToF32/%s: row %d = %v, want %v", name, i, gotV[i], wantV[i])
+				}
+			}
+		}
+	}
+}
+
+// TestF32LargePathsMatchRef forces the parallel and packed dispatch
+// routes of MulToF32 (worker-pool row panels, blocked B) on shapes
+// past their thresholds, including a single-row edge.
+func TestF32LargePathsMatchRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, fam := range testFamilies() {
+		setFamily(t, fam)
+		name := "family=" + fam.String()
+		for _, s := range []struct{ m, k, n int }{
+			{300, 60, 17},  // parallel direct route
+			{40, 300, 512}, // packed route (k*n past packedBFootprint)
+			{1, 300, 300},  // single row stays on the direct kernel
+		} {
+			a32, a := randomDense32(rng, s.m, s.k)
+			b32, b := randomDense32(rng, s.k, s.n)
+			want := NewDense(s.m, s.n)
+			refMulTo(want, a, b)
+			got := NewDenseF32(s.m, s.n)
+			MulToF32(got, a32, b32)
+			equalishTol32(t, "MulToF32/"+name, got, want, s.k)
+		}
+	}
+}

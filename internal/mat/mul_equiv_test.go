@@ -197,19 +197,44 @@ func TestLargePathsMatchRef(t *testing.T) {
 	}
 }
 
-// TestBothKernelFamiliesMatchRef pins the family the current
-// build/CPU did NOT select: fmaKernels is flipped so both the
-// fused-multiply-add and the plain kernels — including both packed
-// micro-tile variants, driven through mulPacked directly — are
-// validated against the oracle regardless of where the tests run.
-func TestBothKernelFamiliesMatchRef(t *testing.T) {
-	old := fmaKernels
-	defer func() { fmaKernels = old }()
+// setFamily forces the kernel family (and its packed panel width) for
+// the duration of a test, restoring both on cleanup. Only for serial
+// tests: family is read lock-free by every kernel.
+func setFamily(t *testing.T, f kernelFamily) {
+	t.Helper()
+	oldFam, oldNR := family, packNR
+	t.Cleanup(func() { family, packNR = oldFam, oldNR })
+	family = f
+	if f == famAsm {
+		packNR = kernelNRAsm
+	} else {
+		packNR = kernelNR
+	}
+}
+
+// testFamilies returns every kernel family runnable on this build and
+// CPU: the Go families always, the asm family when hasAsm.
+func testFamilies() []kernelFamily {
+	fams := []kernelFamily{famPlain, famFMA}
+	if hasAsm {
+		fams = append(fams, famAsm)
+	}
+	return fams
+}
+
+// TestAllKernelFamiliesMatchRef pins every kernel family the build can
+// run — plain, Go-FMA, and (CPU permitting) the AVX2 asm kernels —
+// against the oracle, regardless of which family startup selection
+// picked. The packed path is driven through mulPacked directly, forced
+// regardless of size gates, so both micro-tile widths (4x4 Go, 4x8
+// asm) see ragged edges; the direct kernels are called at their
+// row-range level.
+func TestAllKernelFamiliesMatchRef(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	for _, fma := range []bool{false, true} {
-		fmaKernels = fma
-		name := fmt.Sprintf("fma=%v", fma)
-		for _, s := range []struct{ m, k, n int }{{37, 23, 19}, {70, 67, 66}} {
+	for _, fam := range testFamilies() {
+		setFamily(t, fam)
+		name := "family=" + fam.String()
+		for _, s := range []struct{ m, k, n int }{{37, 23, 19}, {70, 67, 66}, {12, 300, 41}, {33, 29, 1}, {9, 40, 8}} {
 			a := randomDense(rng, s.m, s.k)
 			b := randomDense(rng, s.k, s.n)
 
@@ -247,6 +272,33 @@ func TestBothKernelFamiliesMatchRef(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSelectFamilyForced covers the BELLAMY_MAT_KERNEL override used by
+// the equivalence suite and CI: a recognized value forces that family
+// (asm only when the CPU has it), anything else falls back to the
+// deterministic automatic chain.
+func TestSelectFamilyForced(t *testing.T) {
+	if got := selectFamily("plain"); got != famPlain {
+		t.Fatalf("selectFamily(plain) = %v", got)
+	}
+	if got := selectFamily("fma"); got != famFMA {
+		t.Fatalf("selectFamily(fma) = %v", got)
+	}
+	auto := selectFamily("")
+	if got := selectFamily("bogus"); got != auto {
+		t.Fatalf("selectFamily(bogus) = %v, want automatic choice %v", got, auto)
+	}
+	if hasAsm {
+		if got := selectFamily("asm"); got != famAsm {
+			t.Fatalf("selectFamily(asm) = %v with hasAsm", got)
+		}
+		if auto != famAsm {
+			t.Fatalf("automatic selection = %v, want asm on an AVX2+FMA CPU", auto)
+		}
+	} else if got := selectFamily("asm"); got != auto {
+		t.Fatalf("selectFamily(asm) without hasAsm = %v, want fallback %v", got, auto)
 	}
 }
 

@@ -23,9 +23,19 @@ import "sync"
 // the workspaces are built on, so steady-state packing allocates
 // nothing.
 const (
-	// kernelMR x kernelNR is the register tile of the micro-kernel.
+	// kernelMR x kernelNR is the register tile of the Go micro-kernel;
+	// all families share the kernelMR-row packed-A layout.
 	kernelMR = 4
 	kernelNR = 4
+
+	// kernelNRAsm is the B-panel width of the float64 asm micro-kernel
+	// (dgemmMicro4x8): 8 columns = two ymm accumulators per row.
+	kernelNRAsm = 8
+
+	// kernelNR32 is the B-panel width of the float32 asm micro-kernel
+	// (sgemmMicro4x16): 16 columns = two 8-float ymm accumulators per
+	// row. The Go float32 fallback tiles kernelNR-wide.
+	kernelNR32 = 16
 
 	// blockKC is the reduction depth per packed panel: one A panel
 	// (kernelMR*blockKC floats = 8 KiB) plus the B panel it multiplies
@@ -111,13 +121,37 @@ func packA(dst []float64, a *Dense, i0, mc, p0, kc int) {
 	}
 }
 
-// packB copies the kc x nc block of b at (p0, j0) into dst as
-// kernelNR-column panels, k-major within each panel, zero-padding short
-// panels.
-func packB(dst []float64, b *Dense, p0, kc, j0, nc int) {
-	for jp := 0; jp < nc; jp += kernelNR {
+// packNR is the packed-B panel width of the selected kernel family:
+// kernelNRAsm under the asm micro-kernel, kernelNR for the Go tiles.
+var packNR = func() int {
+	if family == famAsm {
+		return kernelNRAsm
+	}
+	return kernelNR
+}()
+
+// packB copies the kc x nc block of b at (p0, j0) into dst as nr-column
+// panels (nr = kernelNR or kernelNRAsm), k-major within each panel,
+// zero-padding short panels.
+func packB(dst []float64, b *Dense, p0, kc, j0, nc, nr int) {
+	for jp := 0; jp < nc; jp += nr {
 		w := nc - jp
-		if w >= kernelNR {
+		if w >= 8 && nr == 8 {
+			for k := 0; k < kc; k++ {
+				row := b.Row(p0 + k)[j0+jp : j0+jp+8 : j0+jp+8]
+				dst[0] = row[0]
+				dst[1] = row[1]
+				dst[2] = row[2]
+				dst[3] = row[3]
+				dst[4] = row[4]
+				dst[5] = row[5]
+				dst[6] = row[6]
+				dst[7] = row[7]
+				dst = dst[8:]
+			}
+			continue
+		}
+		if w >= 4 && nr == 4 {
 			for k := 0; k < kc; k++ {
 				row := b.Row(p0 + k)[j0+jp : j0+jp+4 : j0+jp+4]
 				dst[0] = row[0]
@@ -130,14 +164,14 @@ func packB(dst []float64, b *Dense, p0, kc, j0, nc int) {
 		}
 		for k := 0; k < kc; k++ {
 			row := b.Row(p0 + k)[j0+jp : j0+nc]
-			for c := 0; c < kernelNR; c++ {
-				if c < w {
+			for c := 0; c < nr; c++ {
+				if c < len(row) {
 					dst[c] = row[c]
 				} else {
 					dst[c] = 0
 				}
 			}
-			dst = dst[4:]
+			dst = dst[nr:]
 		}
 	}
 }

@@ -25,11 +25,13 @@ import (
 type panelOp uint8
 
 const (
-	opMulRows    panelOp = iota // dst rows = a*b rows, direct kernel
-	opMulPacked                 // dst row-panels of blockMC, packed kernel
-	opMulATBCols                // dst rows = (aᵀb) output rows (a columns)
-	opMulABTRows                // dst rows = a*bᵀ rows
-	opMulVecRows                // y rows = a*x rows
+	opMulRows     panelOp = iota // dst rows = a*b rows, direct kernel
+	opMulPacked                  // dst row-panels of blockMC, packed kernel
+	opMulATBCols                 // dst rows = (aᵀb) output rows (a columns)
+	opMulABTRows                 // dst rows = a*bᵀ rows
+	opMulVecRows                 // y rows = a*x rows
+	opMulRows32                  // float32 dst rows = a*b rows
+	opMulPacked32                // float32 packed row-panels of blockMC
 )
 
 // panelJob is one parallel product: workers claim panel chunks via the
@@ -38,8 +40,11 @@ const (
 type panelJob struct {
 	op        panelOp
 	a, b, dst *Dense
+	a32, b32  *DenseF32 // float32 operands
+	dst32     *DenseF32
 	x, y      []float64 // MulVec operands
 	bp        []float64 // shared packed B block (opMulPacked)
+	bp32      []float32 // shared packed float32 B block
 	pc, kc    int       // packed k-block origin/size
 	jc, nc    int       // packed column-block origin/size
 	panel     int       // rows per panel
@@ -93,6 +98,13 @@ func (j *panelJob) runPanels(p0, p1 int) {
 			hi = j.a.Rows
 		}
 		mulVecRows(j.y, j.a, j.x, lo, hi)
+	case opMulRows32:
+		if hi > j.a32.Rows {
+			hi = j.a32.Rows
+		}
+		mulRows32(j.dst32, j.a32, j.b32, lo, hi)
+	case opMulPacked32:
+		mulPackedPanels32(j.dst32, j.a32, j.bp32, j.pc, j.kc, j.jc, j.nc, p0, p1)
 	}
 }
 
@@ -143,7 +155,8 @@ submit:
 	j.run()
 	j.wg.Wait()
 	j.a, j.b, j.dst = nil, nil, nil
-	j.x, j.y, j.bp = nil, nil, nil
+	j.a32, j.b32, j.dst32 = nil, nil, nil
+	j.x, j.y, j.bp, j.bp32 = nil, nil, nil, nil
 	jobPool.Put(j)
 }
 

@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestFastActivations32 pins the documented error bounds of the float32
+// polynomial activations against the float64 library functions.
+func TestFastActivations32(t *testing.T) {
+	// exp32: ~2e-7 max relative error documented; assert 5e-7 with
+	// headroom for the float64 reference's own rounding. The reference
+	// is evaluated at the float32-rounded input — rounding x itself
+	// perturbs e^x by |x|*ulp, which is input error, not kernel error.
+	for x := -87.0; x <= 87.0; x += 0.0137 {
+		xf := float32(x)
+		got := float64(exp32(xf))
+		want := math.Exp(float64(xf))
+		if rel := math.Abs(got-want) / want; rel > 5e-7 {
+			t.Fatalf("exp32(%v) = %v, want %v (rel err %.3g)", x, got, want, rel)
+		}
+	}
+	if exp32(-100) != 0 {
+		t.Fatalf("exp32(-100) = %v, want 0", exp32(-100))
+	}
+	if !math.IsInf(float64(exp32(200)), 1) {
+		t.Fatalf("exp32(200) = %v, want +Inf", exp32(200))
+	}
+
+	// tanh32: absolute error bound (tanh saturates, relative error near
+	// 0 is dominated by float32 rounding of x itself).
+	for x := -12.0; x <= 12.0; x += 0.0071 {
+		xf := float32(x)
+		got := float64(tanh32(xf))
+		want := math.Tanh(float64(xf))
+		if d := math.Abs(got - want); d > 4e-7 {
+			t.Fatalf("tanh32(%v) = %v, want %v (abs err %.3g)", x, got, want, d)
+		}
+	}
+
+	// selu32 against the float64 SELU on both branches.
+	act := SELU{}
+	for x := -20.0; x <= 20.0; x += 0.0093 {
+		xf := float32(x)
+		got := float64(selu32(xf))
+		want := act.Apply(float64(xf))
+		if d := math.Abs(got - want); d > 5e-7*(1+math.Abs(want)) {
+			t.Fatalf("selu32(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// TestVectorSeluMatchesScalar pins the AVX2 SELU kernel against the
+// scalar selu32 across both branches and every tail length 0..7. The
+// asm kernel fuses multiply-adds the scalar path leaves unfused, so
+// agreement is to ~2 ulp, not bit-exact.
+func TestVectorSeluMatchesScalar(t *testing.T) {
+	for n := 1; n <= 37; n++ {
+		v := make([]float32, n)
+		ref := make([]float32, n)
+		for i := range v {
+			// Sweep [-12, 12] including exact zero and subnormal-adjacent
+			// negatives.
+			v[i] = float32(i-n/2) * 24.0 / float32(n)
+			ref[i] = selu32(v[i])
+		}
+		if !mat.Selu32(v, seluLambda32, seluLambdaAlpha32) {
+			t.Skip("asm kernel family unavailable on this build/CPU")
+		}
+		for i := range v {
+			got, want := float64(v[i]), float64(ref[i])
+			if d := math.Abs(got - want); d > 2e-7*(1+math.Abs(want)) {
+				t.Fatalf("n=%d: vselu32[%d](%v) = %v, scalar %v", n, i, float32(i-n/2)*24.0/float32(n), got, want)
+			}
+		}
+	}
+}

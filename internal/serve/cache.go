@@ -85,12 +85,19 @@ func (c *resultCache) put(key string, val float64, epoch uint64) {
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&cacheItem{key: key, val: val})
-	for c.lru.Len() > c.cap {
+	if c.lru.Len() >= c.cap {
+		// At capacity every insert evicts the LRU entry; recycling its
+		// element and item in place makes the steady-state miss path
+		// allocation-free apart from the key string.
 		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheItem).key)
+		it := oldest.Value.(*cacheItem)
+		delete(c.entries, it.key)
+		it.key, it.val = key, val
+		c.lru.MoveToFront(oldest)
+		c.entries[key] = oldest
+		return
 	}
+	c.entries[key] = c.lru.PushFront(&cacheItem{key: key, val: val})
 }
 
 // invalidatePrefix removes every memoized result whose fingerprint

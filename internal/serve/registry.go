@@ -50,12 +50,35 @@ type VersionedLoader func(key ModelKey) (*core.Model, uint64, error)
 type Model struct {
 	mu sync.Mutex
 	m  *core.Model
+	// im is the quantized float32 serving form of m, built once at
+	// publish time (load or swap). When set, all prediction traffic
+	// runs through it — the float64 model stays resident only as the
+	// clone source for online fine-tuning. Nil when quantization is
+	// disabled (Float64Serving) or the model has no f32 mapping.
+	im *core.InferModel
+}
+
+// newModel wraps a published model version for serving, quantizing the
+// weights into the float32 inference form unless disabled. A model that
+// cannot be quantized (a layer type with no f32 mapping) falls back to
+// float64 serving rather than failing the publish.
+func newModel(m *core.Model, quantize bool) *Model {
+	sm := &Model{m: m}
+	if quantize {
+		if im, err := m.Quantize(); err == nil {
+			sm.im = im
+		}
+	}
+	return sm
 }
 
 // Predict runs a single query against the underlying model.
 func (sm *Model) Predict(q core.Query) (float64, error) {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
+	if sm.im != nil {
+		return sm.im.Predict(q.ScaleOut, q.Essential, q.Optional)
+	}
 	return sm.m.Predict(q.ScaleOut, q.Essential, q.Optional)
 }
 
@@ -74,12 +97,19 @@ func (sm *Model) PredictBatch(qs []core.Query) ([]float64, error) {
 func (sm *Model) PredictBatchInto(dst []float64, qs []core.Query) error {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
+	if sm.im != nil {
+		return sm.im.PredictBatchInto(dst, qs)
+	}
 	return sm.m.PredictBatchInto(dst, qs)
 }
 
 // Validate checks a query against the model configuration without
 // touching forward-pass state; it needs no lock.
 func (sm *Model) Validate(q core.Query) error { return sm.m.ValidateQuery(q) }
+
+// Quantized reports whether this model version serves predictions
+// through the float32 inference path.
+func (sm *Model) Quantized() bool { return sm.im != nil }
 
 // Pretrained implements allocate.SupportReporter.
 func (sm *Model) Pretrained() bool {
@@ -160,6 +190,9 @@ type Registry struct {
 	loader  Loader
 	vloader VersionedLoader // when set, replaces loader on the load path
 	cap     int
+	// quantize controls whether published versions get a float32
+	// serving form (the default); see SetFloat64Serving.
+	quantize bool
 
 	mu      sync.Mutex
 	entries map[ModelKey]*entry
@@ -181,12 +214,19 @@ func NewRegistry(loader Loader, capacity int) *Registry {
 		capacity = DefaultModelCap
 	}
 	return &Registry{
-		loader:  loader,
-		cap:     capacity,
-		entries: map[ModelKey]*entry{},
-		lru:     list.New(),
+		loader:   loader,
+		cap:      capacity,
+		quantize: true,
+		entries:  map[ModelKey]*entry{},
+		lru:      list.New(),
 	}
 }
+
+// SetFloat64Serving disables (or re-enables) float32 quantization of
+// published model versions, keeping inference in full float64. Set it
+// before serving traffic; it affects models published afterwards, not
+// already-resident versions.
+func (r *Registry) SetFloat64Serving(f64 bool) { r.quantize = !f64 }
 
 // SetVersionedLoader replaces the registry's load path with a loader
 // that also dictates the published version of each loaded model. Set it
@@ -255,7 +295,7 @@ func (r *Registry) GetRef(key ModelKey) (Ref, error) {
 		r.mu.Unlock()
 		return Ref{}, e.err
 	}
-	v := &versioned{version: version, sm: &Model{m: m}}
+	v := &versioned{version: version, sm: newModel(m, r.quantize)}
 	e.slot.Store(v)
 	r.loads.Add(1)
 	close(e.ready)
@@ -297,7 +337,7 @@ func (r *Registry) acquire(key ModelKey) (*entry, bool) {
 // the registry already discarded. In-flight predictions holding the
 // previous *Model finish on it undisturbed.
 func (r *Registry) Swap(key ModelKey, gen uint64, m *core.Model) (uint64, bool) {
-	sm := &Model{m: m}
+	sm := newModel(m, r.quantize)
 	r.mu.Lock()
 	e, ok := r.entries[key]
 	if !ok || e.gen != gen {

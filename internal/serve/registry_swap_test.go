@@ -2,11 +2,18 @@ package serve
 
 import (
 	"bytes"
+	"math"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 )
+
+// quantClose compares a served (float32-quantized) prediction against a
+// float64 reference within the documented quantization bound.
+func quantClose(got, want float64) bool {
+	return math.Abs(got-want) <= 1e-3*(1+math.Abs(want))
+}
 
 // loadTrained decodes a fresh trained model for a seed.
 func loadTrained(t testing.TB, seed int64) *core.Model {
@@ -62,7 +69,7 @@ func TestRegistrySwapInstallsNewVersion(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Predict after swap: %v", err)
 	}
-	if got != wantNew {
+	if !quantClose(got, wantNew) {
 		t.Fatalf("swapped model predicts %v, want %v", got, wantNew)
 	}
 	still, err := ref.Model.Predict(q)
@@ -142,7 +149,7 @@ func TestRegistrySwapRefusesEvictedGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reference Predict: %v", err)
 	}
-	if got != want {
+	if !quantClose(got, want) {
 		t.Fatalf("reloaded model predicts %v, want fresh-weights prediction %v", got, want)
 	}
 }

@@ -265,12 +265,15 @@ func TestServicePredictMatchesModelAndCaches(t *testing.T) {
 	if r1.Cached {
 		t.Fatal("first prediction reported as cached")
 	}
-	if r1.RuntimeSec != want {
+	// The service serves through the quantized float32 path; predictions
+	// track the float64 model within the quantization bound (see
+	// core.TestQuantizedPredictionAccuracy), not bit-exactly.
+	if math.Abs(r1.RuntimeSec-want) > 1e-3*(1+math.Abs(want)) {
 		t.Fatalf("served prediction %v != direct prediction %v", r1.RuntimeSec, want)
 	}
 	r2 := svc.Predict(key, q)
-	if !r2.Cached || r2.RuntimeSec != want {
-		t.Fatalf("second prediction cached=%v value=%v, want cached copy of %v", r2.Cached, r2.RuntimeSec, want)
+	if !r2.Cached || r2.RuntimeSec != r1.RuntimeSec {
+		t.Fatalf("second prediction cached=%v value=%v, want cached copy of %v", r2.Cached, r2.RuntimeSec, r1.RuntimeSec)
 	}
 	st := svc.Stats()
 	if st.ResultHits != 1 || st.ResultMisses != 1 {
@@ -303,7 +306,10 @@ func TestPredictBatchMatchesSequential(t *testing.T) {
 		if r.Err != nil {
 			t.Fatalf("batch response %d: %v", i, r.Err)
 		}
-		if math.Abs(r.RuntimeSec-want[i]) > 1e-9*math.Abs(want[i]) {
+		// Batch rows and single-query rows may take different kernel
+		// block paths (asm 4-row blocks vs scalar tail), so agreement is
+		// to float32 kernel rounding, not bit-exact.
+		if math.Abs(r.RuntimeSec-want[i]) > 1e-4*(1+math.Abs(want[i])) {
 			t.Fatalf("batch response %d = %v, sequential = %v", i, r.RuntimeSec, want[i])
 		}
 	}
@@ -366,20 +372,19 @@ func TestServiceConcurrentHammer(t *testing.T) {
 		{Job: "sgd", Env: "bell"},
 	}
 
-	// Reference answers computed up front, single-threaded.
+	// Reference answers computed up front, single-threaded, through the
+	// same quantized serving path the hammer exercises (so the race
+	// check below can demand exact equality).
 	ref := map[string]float64{}
+	refSvc := NewService((&countingLoader{t: t}).load, Options{ModelCap: 4})
 	for _, key := range keys {
-		m, err := core.Load(bytes.NewReader(trainedModelBytes(t, int64(len(key.Job)+len(key.Env)))))
-		if err != nil {
-			t.Fatalf("Load: %v", err)
-		}
 		for x := 2; x <= 12; x += 2 {
 			q := testQuery(x, 10000)
-			v, err := m.Predict(q.ScaleOut, q.Essential, q.Optional)
-			if err != nil {
-				t.Fatalf("Predict: %v", err)
+			r := refSvc.Predict(key, q)
+			if r.Err != nil {
+				t.Fatalf("Predict: %v", r.Err)
 			}
-			ref[fingerprint(key, q)] = v
+			ref[fingerprint(key, q)] = r.RuntimeSec
 		}
 	}
 

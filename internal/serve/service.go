@@ -22,6 +22,9 @@ type Options struct {
 	// Workers bounds the per-batch fan-out across model groups
 	// (<= 0: GOMAXPROCS).
 	Workers int
+	// Float64Serving disables the float32 quantized inference path and
+	// serves every model in full float64 precision.
+	Float64Serving bool
 }
 
 // Request is one prediction request: which model to use and what to ask.
@@ -173,6 +176,7 @@ func NewService(loader Loader, opts Options) *Service {
 		results: newResultCache(opts.ResultCap),
 		workers: opts.Workers,
 	}
+	s.reg.SetFloat64Serving(opts.Float64Serving)
 	s.engines.New = func() any { return allocate.NewEngine() }
 	return s
 }
@@ -303,11 +307,57 @@ func (s *Service) predictOne(key ModelKey, q core.Query) Response {
 
 // missGroup gathers the batch positions that share one distinct
 // (model, query) fingerprint, so a query repeated within a batch costs
-// one model row.
+// one model row. The first position is held inline: in the common case
+// of a batch with no repeated queries, recording it allocates nothing.
 type missGroup struct {
 	fp    string
 	query core.Query
-	idxs  []int
+	first int
+	rest  []int
+}
+
+// forEachIdx calls fn for every batch position in the group.
+func (g *missGroup) forEachIdx(fn func(i int)) {
+	fn(g.first)
+	for _, i := range g.rest {
+		fn(i)
+	}
+}
+
+// batchScratch holds the per-PredictBatch grouping state, pooled so a
+// steady stream of batches reuses maps, the missGroup arena, and the
+// query/prediction staging slices instead of reallocating them.
+type batchScratch struct {
+	byFP   map[string]*missGroup
+	groups map[ModelKey][]*missGroup
+	keys   []ModelKey
+	offs   []int
+	arena  []missGroup
+	qs     []core.Query
+	preds  []float64
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{
+		byFP:   map[string]*missGroup{},
+		groups: map[ModelKey][]*missGroup{},
+	}
+}}
+
+// release clears the scratch and returns it to the pool. The arena and
+// query staging are zeroed so pooled memory never pins caller property
+// slices (or their fingerprint strings) across batches.
+func (sc *batchScratch) release() {
+	clear(sc.byFP)
+	clear(sc.groups)
+	sc.keys = sc.keys[:0]
+	sc.offs = sc.offs[:0]
+	clear(sc.arena)
+	sc.arena = sc.arena[:0]
+	clear(sc.qs)
+	sc.qs = sc.qs[:0]
+	sc.preds = sc.preds[:0]
+	batchScratchPool.Put(sc)
 }
 
 // PredictBatch answers many requests at once: result-cache hits are
@@ -319,9 +369,12 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 	defer s.observe(start, len(reqs))
 
 	out := make([]Response, len(reqs))
-	byFP := map[string]*missGroup{}
-	groups := map[ModelKey][]*missGroup{}
-	var keys []ModelKey
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer sc.release()
+	if cap(sc.arena) < len(reqs) {
+		sc.arena = make([]missGroup, 0, len(reqs))
+	}
+	byFP, groups := sc.byFP, sc.groups
 	bufp := fpPool.Get().(*[]byte)
 	buf := *bufp
 	for i, req := range reqs {
@@ -333,19 +386,43 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 		}
 		s.resultMisses.Add(1)
 		if g, ok := byFP[string(buf)]; ok { // allocation-free map index
-			g.idxs = append(g.idxs, i)
+			g.rest = append(g.rest, i)
 			continue
 		}
 		fp := string(buf)
-		g := &missGroup{fp: fp, query: req.Query, idxs: []int{i}}
+		// The arena never reallocates mid-batch (cap >= len(reqs)), so
+		// the *missGroup pointers handed to the maps stay valid.
+		sc.arena = append(sc.arena, missGroup{fp: fp, query: req.Query, first: i})
+		g := &sc.arena[len(sc.arena)-1]
 		byFP[fp] = g
 		if _, ok := groups[req.Key]; !ok {
-			keys = append(keys, req.Key)
+			sc.keys = append(sc.keys, req.Key)
 		}
 		groups[req.Key] = append(groups[req.Key], g)
 	}
 	*bufp = buf
 	fpPool.Put(bufp)
+	keys := sc.keys
+
+	// Carve per-key staging regions out of shared slices up front, so
+	// the parallel workers below write disjoint ranges with no
+	// allocation per model group.
+	misses := len(sc.arena)
+	if cap(sc.qs) < misses {
+		sc.qs = make([]core.Query, misses)
+		sc.preds = make([]float64, misses)
+	}
+	sc.qs = sc.qs[:misses]
+	sc.preds = sc.preds[:misses]
+	if cap(sc.offs) < len(keys) {
+		sc.offs = make([]int, len(keys))
+	}
+	sc.offs = sc.offs[:len(keys)]
+	off := 0
+	for k, key := range keys {
+		sc.offs[k] = off
+		off += len(groups[key])
+	}
 
 	// One epoch snapshot covers the whole fan-out: every model read
 	// happens after it, so a concurrent swap+invalidation moves the
@@ -354,12 +431,11 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 	parallel.ForEach(len(keys), s.workers, func(k int) {
 		key := keys[k]
 		miss := groups[key]
+		region := sc.offs[k]
 		sm, err := s.reg.Get(key)
 		if err != nil {
 			for _, g := range miss {
-				for _, i := range g.idxs {
-					out[i] = Response{Err: err}
-				}
+				g.forEachIdx(func(i int) { out[i] = Response{Err: err} })
 			}
 			return
 		}
@@ -368,9 +444,7 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 		valid := miss[:0]
 		for _, g := range miss {
 			if err := sm.Validate(g.query); err != nil {
-				for _, i := range g.idxs {
-					out[i] = Response{Err: err}
-				}
+				g.forEachIdx(func(i int) { out[i] = Response{Err: err} })
 				continue
 			}
 			valid = append(valid, g)
@@ -378,24 +452,21 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 		if len(valid) == 0 {
 			return
 		}
-		qs := make([]core.Query, len(valid))
+		qs := sc.qs[region : region+len(valid)]
 		for j, g := range valid {
 			qs[j] = g.query
 		}
-		preds := make([]float64, len(valid))
+		preds := sc.preds[region : region+len(valid)]
 		if err := sm.PredictBatchInto(preds, qs); err != nil {
 			for _, g := range valid {
-				for _, i := range g.idxs {
-					out[i] = Response{Err: err}
-				}
+				g.forEachIdx(func(i int) { out[i] = Response{Err: err} })
 			}
 			return
 		}
 		for j, g := range valid {
 			s.results.put(g.fp, preds[j], epoch)
-			for _, i := range g.idxs {
-				out[i] = Response{RuntimeSec: preds[j]}
-			}
+			v := preds[j]
+			g.forEachIdx(func(i int) { out[i] = Response{RuntimeSec: v} })
 		}
 	})
 	return out
