@@ -1,16 +1,28 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/lifecycle"
+	"repro/internal/loadctl"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
+
+// testHookServeReady, when set, receives the bound listen address once
+// the server is accepting connections. Tests use it to drive a real
+// serve process (with -addr :0) through its SIGTERM drain path.
+var testHookServeReady func(addr string)
 
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
@@ -29,6 +41,14 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable store directory (WAL + compacted segments + model checkpoints); empty disables durability")
 	fsyncMode := fs.String("fsync", "always", "WAL durability: always (every append), interval (batched), never (OS page cache)")
 	compactEvery := fs.Duration("compact-interval", store.DefaultCompactInterval, "period between WAL compactions into indexed segments")
+	rate := fs.Float64("rate-limit", loadctl.DefaultRate, "per-client request rate limit in req/s (0 disables rate limiting)")
+	rateBurst := fs.Float64("rate-burst", 0, "per-client burst depth (0 = 2x rate)")
+	maxClients := fs.Int("max-clients", loadctl.DefaultMaxClients, "max tracked rate-limit clients (LRU beyond)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently admitted requests (0 = 4x GOMAXPROCS, negative disables the admission gate)")
+	maxQueue := fs.Int("max-queue", loadctl.DefaultMaxQueue, "admission queue depth; heavy requests get half of it")
+	maxWait := fs.Duration("max-wait", loadctl.DefaultMaxWait, "max time a request queues for admission before it is shed")
+	maxDeadline := fs.Duration("max-deadline", serve.DefaultMaxDeadline, "cap on client-supplied X-Deadline-Ms budgets")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,6 +82,7 @@ func runServe(args []string) error {
 		svc.Registry().SetVersionedLoader(serve.CheckpointLoader(serve.DirLoader(*modelsDir), st))
 		svc.AttachStore(st)
 	}
+	var ctl *lifecycle.Controller
 	if *observe {
 		cfg := lifecycle.Config{
 			MinSamples: *ftMinSamples,
@@ -74,7 +95,7 @@ func runServe(args []string) error {
 			cfg.Log = st
 			cfg.Checkpoint = st
 		}
-		ctl := lifecycle.New(svc.Registry(), cfg)
+		ctl = lifecycle.New(svc.Registry(), cfg)
 		ctl.OnSwap(func(key serve.ModelKey, version uint64) {
 			fmt.Printf("lifecycle: %s hot-swapped to v%d\n", key, version)
 		})
@@ -111,12 +132,85 @@ func runServe(args []string) error {
 		st.Start()
 		fmt.Printf("durable store on: %s (fsync=%s, compaction every %v)\n", *dataDir, *fsyncMode, *compactEvery)
 	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
+
+	var lc serve.LoadControl
+	if *rate > 0 {
+		lc.Limiter = loadctl.NewLimiter(loadctl.LimiterConfig{
+			Rate:       *rate,
+			Burst:      *rateBurst,
+			MaxClients: *maxClients,
+		})
 	}
-	fmt.Printf("serving models from %s on %s\n", *modelsDir, *addr)
+	if *maxInFlight >= 0 {
+		lc.Gate = loadctl.NewGate(loadctl.GateConfig{
+			MaxInFlight: *maxInFlight,
+			MaxQueue:    *maxQueue,
+			MaxWait:     *maxWait,
+		})
+	}
+	lc.MaxDeadline = *maxDeadline
+	if lc.Limiter != nil || lc.Gate != nil {
+		svc.AttachLoadControl(lc)
+		fmt.Printf("load control on: %g req/s per client, gate %d in flight / %d queued (heavy %d), shed after %v\n",
+			*rate, *maxInFlight, *maxQueue, max(*maxQueue/2, 1), *maxWait)
+	}
+
+	srv := &http.Server{
+		Handler: svc.Handler(),
+		// Full-request read and write bounds (not just headers): a
+		// slow-loris client trickling its body, or one never draining the
+		// response, is cut off instead of pinning a connection forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving models from %s on %s\n", *modelsDir, ln.Addr())
 	fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /healthz")
-	return srv.ListenAndServe()
+	if testHookServeReady != nil {
+		testHookServeReady(ln.Addr().String())
+	}
+
+	// Serve until SIGTERM/SIGINT, then drain: mark not-ready so load
+	// balancers stop sending work, let in-flight requests finish, digest
+	// pending observations into a final checkpoint, and seal the WAL.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sigc)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("received %v: draining (timeout %v)\n", sig, *drainTimeout)
+	}
+	svc.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// Stragglers past the timeout are abandoned, but everything
+		// below still runs: the WAL seal must happen regardless.
+		fmt.Printf("drain: shutdown incomplete: %v\n", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Printf("drain: server error: %v\n", err)
+	}
+	if ctl != nil {
+		if n := ctl.Drain(); n > 0 {
+			fmt.Printf("drain: digested pending observations into %d model version(s)\n", n)
+		}
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("drain: closing store: %w", err)
+		}
+		fmt.Println("drain: store sealed")
+	}
+	fmt.Println("drain: complete")
+	return nil
 }

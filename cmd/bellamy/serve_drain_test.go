@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/store"
+)
+
+// writeTestModel trains a tiny model and writes it where DirLoader
+// expects sort_c3o.model.
+func writeTestModel(t *testing.T, dir string) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.PropertySize = 16
+	cfg.EncodingDim = 3
+	cfg.EncoderHidden = 6
+	cfg.ScaleOutHidden = 8
+	cfg.ScaleOutDim = 4
+	cfg.PredictorHidden = 6
+	cfg.PretrainEpochs = 25
+	cfg.Seed = 1
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	var samples []core.Sample
+	for _, x := range []int{2, 4, 6, 8, 10, 12} {
+		fx := float64(x)
+		samples = append(samples, core.Sample{
+			ScaleOut:   x,
+			Essential:  drainProps(10000),
+			Optional:   nil,
+			RuntimeSec: 30 + 400/fx + 10*math.Log(fx) + 1.2*fx,
+		})
+	}
+	if _, err := m.Pretrain(samples); err != nil {
+		t.Fatalf("Pretrain: %v", err)
+	}
+	if err := m.SaveFile(filepath.Join(dir, "sort_c3o.model")); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+}
+
+func drainProps(sizeMB int) []encoding.Property {
+	return []encoding.Property{
+		{Name: "dataset_size_mb", Value: strconv.Itoa(sizeMB)},
+		{Name: "dataset_characteristics", Value: "uniform"},
+		{Name: "job_parameters", Value: "--iterations 100"},
+		{Name: "node_type", Value: "m4.xlarge"},
+	}
+}
+
+func drainWire(scaleOut int) predictWire {
+	return predictWire{
+		Job: "sort", Env: "c3o", ScaleOut: scaleOut,
+		Essential: []propertyWire{
+			{Name: "dataset_size_mb", Value: "10000"},
+			{Name: "dataset_characteristics", Value: "uniform"},
+			{Name: "job_parameters", Value: "--iterations 100"},
+			{Name: "node_type", Value: "m4.xlarge"},
+		},
+	}
+}
+
+// TestServeSIGTERMDrain drives the real serve entrypoint through its
+// shutdown path: a server under live predict+observe traffic receives
+// SIGTERM, must let every in-flight request finish, digest and seal the
+// WAL, and return nil. Every observation the server acknowledged with
+// a 2xx must be durable in the reopened store, and the reopened WAL
+// must have nothing to repair.
+func TestServeSIGTERMDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-signal end-to-end test")
+	}
+	root := t.TempDir()
+	modelsDir := filepath.Join(root, "models")
+	dataDir := filepath.Join(root, "data")
+	if err := os.MkdirAll(modelsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTestModel(t, modelsDir)
+
+	ready := make(chan string, 1)
+	testHookServeReady = func(addr string) { ready <- addr }
+	defer func() { testHookServeReady = nil }()
+
+	served := make(chan error, 1)
+	go func() {
+		served <- runServe([]string{
+			"-models", modelsDir,
+			"-addr", "127.0.0.1:0",
+			"-observe",
+			"-data-dir", dataDir,
+			"-fsync", "never",
+			"-rate-limit", "0",
+			"-drain-timeout", "10s",
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-served:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	base := "http://" + addr
+
+	// Live traffic: predicts and observes from a few workers until the
+	// server stops accepting. Every 2xx observe is a durability promise
+	// we check after the drain.
+	var (
+		wg          sync.WaitGroup
+		acceptedObs atomic.Int64
+		okPredicts  atomic.Int64
+	)
+	stop := make(chan struct{})
+	client := &http.Client{Timeout: 30 * time.Second}
+	post := func(path string, body []byte) (int, bool) {
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, false // connection refused once the listener closes
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, true
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pb, _ := json.Marshal(drainWire(2 + (i % 6)))
+				if code, up := post("/v1/predict", pb); !up {
+					return
+				} else if code == http.StatusOK {
+					okPredicts.Add(1)
+				}
+				ob, _ := json.Marshal(observeWire{
+					predictWire: drainWire(2 + (i % 6)),
+					RuntimeSec:  60 + float64(i%10),
+				})
+				code, up := post("/v1/observe", ob)
+				if !up {
+					return
+				}
+				if code >= 200 && code < 300 {
+					acceptedObs.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Let traffic flow, then terminate the process the way an
+	// orchestrator would.
+	deadline := time.Now().Add(5 * time.Second)
+	for okPredicts.Load() == 0 || acceptedObs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no traffic succeeded before SIGTERM")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("runServe after SIGTERM = %v, want nil (clean drain)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain within 30s of SIGTERM")
+	}
+	close(stop)
+	wg.Wait()
+	t.Logf("drained with %d ok predicts, %d accepted observations", okPredicts.Load(), acceptedObs.Load())
+
+	// The drained store reopens with a clean seal and holds every
+	// acknowledged observation.
+	st, err := store.Open(dataDir, store.Options{Fsync: store.FsyncNever})
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	defer st.Close()
+	if rb := st.StoreStats().RepairedBytes; rb != 0 {
+		t.Fatalf("reopen repaired %d bytes, want 0 after a drained shutdown", rb)
+	}
+	var replayed, digests int64
+	err = st.Replay(store.ReplayHandler{
+		Observation: func(job, env string, s core.Sample, at time.Time) { replayed++ },
+		Digest:      func(job, env string, fresh int, at time.Time) { digests++ },
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if replayed != acceptedObs.Load() {
+		t.Fatalf("store holds %d observations, want the %d the server acknowledged", replayed, acceptedObs.Load())
+	}
+	if digests == 0 {
+		t.Fatal("drain wrote no digest marker despite pending observations")
+	}
+}
+
+// TestBenchAgainstServe smoke-tests the load harness end to end: a
+// short bench sweep against a served model must complete, report
+// goodput, and write the -out JSON.
+func TestBenchAgainstServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end bench smoke")
+	}
+	root := t.TempDir()
+	modelsDir := filepath.Join(root, "models")
+	if err := os.MkdirAll(modelsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTestModel(t, modelsDir)
+
+	ready := make(chan string, 1)
+	testHookServeReady = func(addr string) { ready <- addr }
+	defer func() { testHookServeReady = nil }()
+	served := make(chan error, 1)
+	go func() {
+		served <- runServe([]string{
+			"-models", modelsDir,
+			"-addr", "127.0.0.1:0",
+			"-observe",
+			"-rate-limit", "0",
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-served:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+
+	outPath := filepath.Join(root, "bench.json")
+	err := runBench([]string{
+		"-url", "http://" + addr,
+		"-job", "sort", "-env", "c3o",
+		"-rates", "200", "-duration", "500ms",
+		"-essential", "dataset_size_mb=10000",
+		"-essential", "dataset_characteristics=uniform",
+		"-essential", "job_parameters=--iterations 100",
+		"-essential", "node_type=m4.xlarge",
+		"-deadline-ms", "5000",
+		"-out", outPath,
+	})
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	blob, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("reading bench output: %v", err)
+	}
+	var out struct {
+		Runs []benchRun `json:"runs"`
+	}
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatalf("decoding bench output: %v", err)
+	}
+	if len(out.Runs) != 1 {
+		t.Fatalf("bench wrote %d runs, want 1", len(out.Runs))
+	}
+	r := out.Runs[0]
+	if r.OK == 0 || r.GoodputRPS <= 0 {
+		t.Fatalf("bench run recorded no goodput: %+v", r)
+	}
+	if r.Errors > 0 {
+		t.Fatalf("bench run recorded %d errors against a healthy server: %+v", r.Errors, r)
+	}
+	// Shut the server down cleanly so the test binary exits quietly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("runServe after SIGTERM = %v, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain within 30s of SIGTERM")
+	}
+}

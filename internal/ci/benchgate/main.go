@@ -35,13 +35,15 @@ type benchRecord struct {
 	} `json:"after"`
 }
 
-// benchFile covers BENCH_train.json ("train" and "mat" arrays) and
-// BENCH_serve.json ("serve" and "store" arrays).
+// benchFile covers BENCH_train.json ("train" and "mat" arrays),
+// BENCH_serve.json ("serve" and "store" arrays), and BENCH_http.json
+// ("http" array: the HTTP serving tier under load control).
 type benchFile struct {
 	Train []benchRecord `json:"train"`
 	Serve []benchRecord `json:"serve"`
 	Store []benchRecord `json:"store"`
 	Mat   []benchRecord `json:"mat"`
+	Http  []benchRecord `json:"http"`
 }
 
 // loadBaselines maps benchmark name -> recorded ns/op across files.
@@ -56,7 +58,7 @@ func loadBaselines(paths []string) (map[string]float64, error) {
 		if err := json.Unmarshal(b, &f); err != nil {
 			return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
 		}
-		for _, rec := range append(append(append(f.Train, f.Serve...), f.Store...), f.Mat...) {
+		for _, rec := range append(append(append(append(f.Train, f.Serve...), f.Store...), f.Mat...), f.Http...) {
 			if rec.Name != "" && rec.After.NsPerOp > 0 {
 				out[rec.Name] = rec.After.NsPerOp
 			}

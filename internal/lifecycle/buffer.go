@@ -116,6 +116,29 @@ func (b *buffer) takeIfTriggered(now time.Time, minSamples int, maxStaleness tim
 	return out, fresh, true
 }
 
+// takeForDrain snapshots the ring for one final shutdown fine-tune,
+// ignoring the sample-count, staleness, and backoff conditions: any
+// fresh sample is worth digesting when the process is about to exit,
+// because a digested sample becomes a checkpointed model while an
+// undigested one costs a replay and a re-fine-tune on the next boot.
+// Buffers mid-fine-tune are skipped — their samples are already being
+// digested by the in-flight run.
+func (b *buffer) takeForDrain() (samples []core.Sample, fresh int, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tuning || b.fresh == 0 {
+		return nil, 0, false
+	}
+	out := make([]core.Sample, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.samples[(b.start+i)%len(b.samples)]
+	}
+	fresh = b.fresh
+	b.fresh = 0
+	b.tuning = true
+	return out, fresh, true
+}
+
 // maxBackoffShift caps the exponential retry backoff at base << 6
 // (64 scan intervals — half an hour at the default 30s interval).
 const maxBackoffShift = 6

@@ -11,6 +11,7 @@ package lifecycle
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -174,8 +175,15 @@ func (c *Controller) OnSwap(fn func(key serve.ModelKey, version uint64)) {
 // against the model architecture happens at fine-tune time, where the
 // model configuration is known. The query's property slices are
 // referenced, not copied; callers must not mutate them afterwards
-// (HTTP ingestion decodes fresh slices per request).
-func (c *Controller) Observe(key serve.ModelKey, q core.Query, runtimeSec float64) error {
+// (HTTP ingestion decodes fresh slices per request). The context is
+// checked once before the durable append: an observation whose caller
+// already gave up is rejected instead of paying a WAL fsync for an
+// answer nobody reads.
+func (c *Controller) Observe(ctx context.Context, key serve.ModelKey, q core.Query, runtimeSec float64) error {
+	if err := ctx.Err(); err != nil {
+		c.rejected.Add(1)
+		return err
+	}
 	if key.Job == "" {
 		c.rejected.Add(1)
 		return fmt.Errorf("lifecycle: observation missing job")
@@ -289,6 +297,36 @@ func (c *Controller) Stop() {
 	<-c.done
 }
 
+// Drain shuts the controller down for process exit: it stops the
+// background loop (waiting out any fine-tunes it is running), then
+// synchronously digests every buffer still holding fresh samples —
+// triggers, staleness, and backoff are ignored, shutdown is the last
+// chance to turn buffered observations into a checkpointed model
+// version. Every installed version flows through the usual checkpoint +
+// digest-record path, so a clean restart replays none of it as fresh.
+// Returns the number of versions installed.
+func (c *Controller) Drain() int {
+	c.Stop()
+	c.mu.Lock()
+	jobs := make([]tuneJob, 0, len(c.buffers))
+	for key, b := range c.buffers {
+		if samples, fresh, ok := b.takeForDrain(); ok {
+			jobs = append(jobs, tuneJob{key: key, buf: b, samples: samples, fresh: fresh})
+		}
+	}
+	c.mu.Unlock()
+	if len(jobs) == 0 {
+		return 0
+	}
+	var swapped atomic.Int64
+	parallel.ForEach(len(jobs), c.cfg.Workers, func(i int) {
+		if c.tune(jobs[i]) {
+			swapped.Add(1)
+		}
+	})
+	return int(swapped.Load())
+}
+
 // RunOnce synchronously evaluates the triggers and runs every due
 // fine-tune on the bounded worker pool, returning the number of model
 // versions installed. The background loop calls it on each tick; tests
@@ -341,7 +379,7 @@ func (c *Controller) tune(j tuneJob) (installed bool) {
 	// scan retries instead of silently discarding the window. A failure
 	// of the fine-tune itself does not requeue — retrying the same
 	// samples would fail the same way.
-	ref, err := c.reg.GetRef(j.key)
+	ref, err := c.reg.GetRef(context.Background(), j.key)
 	if err != nil {
 		c.finetuneErrors.Add(1)
 		j.buf.requeue(j.fresh, time.Now(), c.cfg.Interval)

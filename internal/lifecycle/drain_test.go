@@ -1,0 +1,104 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestDrainDigestsAndSealsStore pins the shutdown contract of the
+// observation pipeline: a drain digests pending observations even
+// below the periodic fine-tune threshold (they were accepted with a
+// 202 — they must not need a lucky scan to reach a checkpoint), the
+// sealed store refuses further appends, and a restart from the data
+// directory recovers the drained version with nothing pending and
+// zero repaired bytes.
+func TestDrainDigestsAndSealsStore(t *testing.T) {
+	dir := t.TempDir()
+	tl := &testLoader{t: t}
+	st, svc, ctl := durableStack(t, dir, tl)
+	key := serve.ModelKey{Job: "sort", Env: "c3o"}
+	qs, truths := observedSamples()
+
+	// Fewer fresh samples than the MinSamples=8 trigger.
+	const observed = 5
+	for i := 0; i < observed; i++ {
+		if err := svc.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if n := ctl.RunOnce(); n != 0 {
+		t.Fatalf("RunOnce swapped %d models below the trigger, want 0", n)
+	}
+	if n := ctl.Drain(); n != 1 {
+		t.Fatalf("Drain digested %d models, want 1 (threshold must not apply at shutdown)", n)
+	}
+	if v, ok := svc.Registry().Version(key); !ok || v != 2 {
+		t.Fatalf("version after drain = (%d, %v), want (2, true)", v, ok)
+	}
+	maeDrained := serviceMAE(t, svc, key, qs[:observed], truths[:observed])
+	ds := st.StoreStats()
+	if ds.Checkpoints != 1 {
+		t.Fatalf("checkpoints after drain = %d, want 1", ds.Checkpoints)
+	}
+	if n := ctl.Drain(); n != 0 {
+		t.Fatalf("second Drain digested %d models, want 0 (nothing fresh left)", n)
+	}
+
+	// Seal the store; the WAL must refuse post-seal appends instead of
+	// silently writing into a file another process may now own.
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	q := qs[0]
+	err := st.AppendObservation("sort", "c3o", core.Sample{
+		ScaleOut:   q.ScaleOut,
+		Essential:  q.Essential,
+		Optional:   q.Optional,
+		RuntimeSec: truths[0],
+	}, time.Now())
+	if !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("append after Close = %v, want store.ErrClosed", err)
+	}
+
+	// Restart from the directory: a drained shutdown left a clean seal
+	// (no torn tail to repair), a digest marker covering every sample
+	// (nothing pending), and the drained model version.
+	st2, svc2, ctl2 := durableStack(t, dir, tl)
+	defer st2.Close()
+	if rb := st2.StoreStats().RepairedBytes; rb != 0 {
+		t.Fatalf("reopen repaired %d bytes, want 0 after a drained shutdown", rb)
+	}
+	replayInto(t, st2, ctl2)
+	if ls := ctl2.LifecycleStats(); ls.PendingSamples != 0 {
+		t.Fatalf("pending after recovery = %d, want 0 (drain digested everything)", ls.PendingSamples)
+	}
+	maeRecovered := serviceMAE(t, svc2, key, qs[:observed], truths[:observed])
+	if v, ok := svc2.Registry().Version(key); !ok || v != 2 {
+		t.Fatalf("recovered version = (%d, %v), want (2, true)", v, ok)
+	}
+	if math.Abs(maeRecovered-maeDrained) > 1e-9 {
+		t.Fatalf("recovered MAE %.6fs != drained MAE %.6fs: recovery did not serve the drained checkpoint", maeRecovered, maeDrained)
+	}
+	if n := ctl2.RunOnce(); n != 0 {
+		t.Fatalf("recovery re-ran %d drained fine-tunes, want 0", n)
+	}
+}
+
+// TestDrainWithoutObservationsIsNoop: a node that saw no observations
+// drains instantly with no version churn.
+func TestDrainWithoutObservationsIsNoop(t *testing.T) {
+	tl := &testLoader{t: t}
+	svc := serve.NewService(tl.load, serve.Options{})
+	ctl := New(svc.Registry(), Config{MinSamples: 8, Interval: time.Hour, Workers: 1, Finetune: fastFinetune()})
+	svc.AttachObserver(ctl)
+	if n := ctl.Drain(); n != 0 {
+		t.Fatalf("Drain on an idle controller digested %d models, want 0", n)
+	}
+}

@@ -1,6 +1,7 @@
 package lifecycle
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -76,7 +77,7 @@ func TestLifecycleDurableRestart(t *testing.T) {
 
 	maeBefore := serviceMAE(t, svc, key, qs, truths)
 	for i, q := range qs {
-		if err := svc.Observe(key, q, truths[i]); err != nil {
+		if err := svc.Observe(context.Background(), key, q, truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -94,7 +95,7 @@ func TestLifecycleDurableRestart(t *testing.T) {
 	// still be pending after recovery.
 	const undigested = 4
 	for i := 0; i < undigested; i++ {
-		if err := svc.Observe(key, qs[i], truths[i]); err != nil {
+		if err := svc.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -155,7 +156,7 @@ func TestLifecycleDurableRestart(t *testing.T) {
 	// Life goes on: enough new observations trigger the next fine-tune,
 	// and the version counter continues from the recovered value.
 	for i := undigested; i < 8; i++ {
-		if err := svc2.Observe(key, qs[i], truths[i]); err != nil {
+		if err := svc2.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
 			t.Fatalf("Observe after recovery: %v", err)
 		}
 	}
@@ -176,7 +177,7 @@ func TestDurableObserveRejectedWhenLogFails(t *testing.T) {
 		Log: failingLog{},
 	})
 	key := serve.ModelKey{Job: "sort"}
-	if err := ctl.Observe(key, testQuery(4, 10000), 10); err == nil {
+	if err := ctl.Observe(context.Background(), key, testQuery(4, 10000), 10); err == nil {
 		t.Fatal("observation accepted despite a failing durable log")
 	}
 	st := ctl.LifecycleStats()
@@ -217,7 +218,7 @@ func TestBackoffRaceUnderConcurrentObserve(t *testing.T) {
 	q := testQuery(4, 10000)
 	// Seed the ring before the hammer so the very first scan already has
 	// a triggered buffer to fail on.
-	if err := ctl.Observe(key, q, 10); err != nil {
+	if err := ctl.Observe(context.Background(), key, q, 10); err != nil {
 		t.Fatalf("Observe: %v", err)
 	}
 
@@ -235,7 +236,7 @@ func TestBackoffRaceUnderConcurrentObserve(t *testing.T) {
 					return
 				default:
 				}
-				if err := ctl.Observe(key, q, 10); err != nil {
+				if err := ctl.Observe(context.Background(), key, q, 10); err != nil {
 					t.Errorf("Observe: %v", err)
 					return
 				}

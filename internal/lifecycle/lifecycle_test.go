@@ -2,6 +2,7 @@ package lifecycle
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -128,7 +129,7 @@ func serviceMAE(t *testing.T, svc *serve.Service, key serve.ModelKey, qs []core.
 	t.Helper()
 	var sum float64
 	for i, q := range qs {
-		r := svc.Predict(key, q)
+		r := svc.Predict(context.Background(), key, q)
 		if r.Err != nil {
 			t.Fatalf("Predict: %v", r.Err)
 		}
@@ -166,7 +167,7 @@ func TestObserveFinetuneSwapImproves(t *testing.T) {
 		t.Fatalf("initial version = (%d, %v), want (1, true)", v, ok)
 	}
 	// This prediction is now memoized; the swap must invalidate it.
-	cachedBefore := svc.Predict(key, qs[0])
+	cachedBefore := svc.Predict(context.Background(), key, qs[0])
 	if cachedBefore.Err != nil || !cachedBefore.Cached {
 		t.Fatalf("expected memoized prediction, got %+v", cachedBefore)
 	}
@@ -176,7 +177,7 @@ func TestObserveFinetuneSwapImproves(t *testing.T) {
 		t.Fatalf("RunOnce before observations swapped %d models, want 0", n)
 	}
 	for i, q := range qs {
-		if err := svc.Observe(key, q, truths[i]); err != nil {
+		if err := svc.Observe(context.Background(), key, q, truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -196,7 +197,7 @@ func TestObserveFinetuneSwapImproves(t *testing.T) {
 
 	// The memoized pre-swap result must be gone: the same query now
 	// takes a fresh forward pass on the new version.
-	afterSwap := svc.Predict(key, qs[0])
+	afterSwap := svc.Predict(context.Background(), key, qs[0])
 	if afterSwap.Err != nil {
 		t.Fatalf("Predict after swap: %v", afterSwap.Err)
 	}
@@ -215,11 +216,11 @@ func TestObserveFinetuneSwapImproves(t *testing.T) {
 
 	// Warm serving on the swapped version is allocation-free.
 	q := qs[1]
-	if r := svc.Predict(key, q); r.Err != nil {
+	if r := svc.Predict(context.Background(), key, q); r.Err != nil {
 		t.Fatalf("prime Predict: %v", r.Err)
 	}
 	if allocs := testing.AllocsPerRun(100, func() {
-		r := svc.Predict(key, q)
+		r := svc.Predict(context.Background(), key, q)
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
@@ -246,16 +247,16 @@ func TestObserveValidation(t *testing.T) {
 	tl := &testLoader{t: t}
 	ctl := New(serve.NewRegistry(tl.load, 4), Config{})
 	key := serve.ModelKey{Job: "sort"}
-	if err := ctl.Observe(serve.ModelKey{}, testQuery(4, 10000), 10); err == nil {
+	if err := ctl.Observe(context.Background(), serve.ModelKey{}, testQuery(4, 10000), 10); err == nil {
 		t.Fatal("accepted observation without job")
 	}
-	if err := ctl.Observe(key, testQuery(-1, 10000), 10); err == nil {
+	if err := ctl.Observe(context.Background(), key, testQuery(-1, 10000), 10); err == nil {
 		t.Fatal("accepted non-positive scale-out")
 	}
-	if err := ctl.Observe(key, testQuery(4, 10000), 0); err == nil {
+	if err := ctl.Observe(context.Background(), key, testQuery(4, 10000), 0); err == nil {
 		t.Fatal("accepted non-positive runtime")
 	}
-	if err := ctl.Observe(key, testQuery(4, 10000), 12.5); err != nil {
+	if err := ctl.Observe(context.Background(), key, testQuery(4, 10000), 12.5); err != nil {
 		t.Fatalf("rejected valid observation: %v", err)
 	}
 	st := ctl.LifecycleStats()
@@ -276,7 +277,7 @@ func TestShapeInvalidObservationsDroppedAtFinetune(t *testing.T) {
 
 	// Wrong essential-property count for the architecture.
 	bad := core.Query{ScaleOut: 4, Essential: essentialProps(10000)[:2]}
-	if err := ctl.Observe(key, bad, 50); err != nil {
+	if err := ctl.Observe(context.Background(), key, bad, 50); err != nil {
 		t.Fatalf("Observe: %v", err)
 	}
 	if n := ctl.RunOnce(); n != 0 {
@@ -289,11 +290,11 @@ func TestShapeInvalidObservationsDroppedAtFinetune(t *testing.T) {
 
 	// A mixed batch keeps the valid samples.
 	qs, truths := observedSamples()
-	if err := ctl.Observe(key, bad, 50); err != nil {
+	if err := ctl.Observe(context.Background(), key, bad, 50); err != nil {
 		t.Fatalf("Observe: %v", err)
 	}
 	for i := 0; i < 8; i++ {
-		if err := ctl.Observe(key, qs[i], truths[i]); err != nil {
+		if err := ctl.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -308,7 +309,7 @@ func TestShapeInvalidObservationsDroppedAtFinetune(t *testing.T) {
 	// fine-tune round must not re-reject them.
 	for i := 0; i < 8; i++ {
 		j := (8 + i) % len(qs)
-		if err := ctl.Observe(key, qs[j], truths[j]); err != nil {
+		if err := ctl.Observe(context.Background(), key, qs[j], truths[j]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -338,7 +339,7 @@ func TestTransientLoadFailureRequeuesObservations(t *testing.T) {
 	key := serve.ModelKey{Job: "sort"}
 	qs, truths := observedSamples()
 	for i := 0; i < 8; i++ {
-		if err := ctl.Observe(key, qs[i], truths[i]); err != nil {
+		if err := ctl.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -377,7 +378,7 @@ func TestLoadFailureBacksOff(t *testing.T) {
 	// effectively unreachable within the test.
 	ctl := New(serve.NewRegistry(loader, 4), Config{MinSamples: 1, Interval: time.Hour, Finetune: fastFinetune()})
 	key := serve.ModelKey{Job: "ghost"}
-	if err := ctl.Observe(key, testQuery(4, 10000), 10); err != nil {
+	if err := ctl.Observe(context.Background(), key, testQuery(4, 10000), 10); err != nil {
 		t.Fatalf("Observe: %v", err)
 	}
 	ctl.RunOnce()
@@ -404,11 +405,11 @@ func TestObserveKeyBound(t *testing.T) {
 	ctl := New(serve.NewRegistry(tl.load, 4), Config{MaxKeys: 2})
 	q := testQuery(4, 10000)
 	for _, job := range []string{"a", "b"} {
-		if err := ctl.Observe(serve.ModelKey{Job: job}, q, 10); err != nil {
+		if err := ctl.Observe(context.Background(), serve.ModelKey{Job: job}, q, 10); err != nil {
 			t.Fatalf("Observe(%s): %v", job, err)
 		}
 	}
-	err := ctl.Observe(serve.ModelKey{Job: "c"}, q, 10)
+	err := ctl.Observe(context.Background(), serve.ModelKey{Job: "c"}, q, 10)
 	if err == nil {
 		t.Fatal("observation for a key past the bound was accepted")
 	}
@@ -416,7 +417,7 @@ func TestObserveKeyBound(t *testing.T) {
 		t.Fatalf("capacity rejection %v does not wrap serve.ErrObserveCapacity", err)
 	}
 	// Known keys keep working at the bound.
-	if err := ctl.Observe(serve.ModelKey{Job: "a"}, q, 11); err != nil {
+	if err := ctl.Observe(context.Background(), serve.ModelKey{Job: "a"}, q, 11); err != nil {
 		t.Fatalf("Observe on existing key at the bound: %v", err)
 	}
 	st := ctl.LifecycleStats()
@@ -460,7 +461,7 @@ func TestMinSamplesAndStalenessTriggers(t *testing.T) {
 	// Below the size trigger with staleness disabled: nothing runs.
 	ctl := New(serve.NewRegistry(tl.load, 4), Config{MinSamples: 100, MaxStaleness: -1, Finetune: fastFinetune()})
 	for i := 0; i < 3; i++ {
-		if err := ctl.Observe(key, qs[i], truths[i]); err != nil {
+		if err := ctl.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -475,7 +476,7 @@ func TestMinSamplesAndStalenessTriggers(t *testing.T) {
 	// digested even though MinSamples is far away.
 	ctl2 := New(serve.NewRegistry(tl.load, 4), Config{MinSamples: 100, MaxStaleness: time.Nanosecond, Finetune: fastFinetune()})
 	for i := 0; i < 3; i++ {
-		if err := ctl2.Observe(key, qs[i], truths[i]); err != nil {
+		if err := ctl2.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -497,7 +498,7 @@ func TestMinSamplesClampedToBufferCap(t *testing.T) {
 	key := serve.ModelKey{Job: "sort"}
 	qs, truths := observedSamples()
 	for i := 0; i < 4; i++ {
-		if err := ctl.Observe(key, qs[i], truths[i]); err != nil {
+		if err := ctl.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -556,7 +557,7 @@ func TestBackgroundLoopSwaps(t *testing.T) {
 	key := serve.ModelKey{Job: "grep", Env: "c3o"}
 	qs, truths := observedSamples()
 	for i := 0; i < 4; i++ {
-		if err := svc.Observe(key, qs[i], truths[i]); err != nil {
+		if err := svc.Observe(context.Background(), key, qs[i], truths[i]); err != nil {
 			t.Fatalf("Observe: %v", err)
 		}
 	}
@@ -615,7 +616,7 @@ func TestLifecycleEvictionRaceHammer(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := svc.Registry().Get(evictors[i%len(evictors)]); err != nil {
+			if _, err := svc.Registry().Get(context.Background(), evictors[i%len(evictors)]); err != nil {
 				t.Errorf("evictor Get: %v", err)
 				return
 			}
@@ -631,7 +632,7 @@ func TestLifecycleEvictionRaceHammer(t *testing.T) {
 				return
 			default:
 			}
-			if r := svc.Predict(key, qs[i%len(qs)]); r.Err != nil {
+			if r := svc.Predict(context.Background(), key, qs[i%len(qs)]); r.Err != nil {
 				t.Errorf("Predict: %v", r.Err)
 				return
 			}
@@ -641,7 +642,7 @@ func TestLifecycleEvictionRaceHammer(t *testing.T) {
 	for round := 0; round < 6; round++ {
 		for i := 0; i < 2; i++ {
 			j := (round*2 + i) % len(qs)
-			if err := svc.Observe(key, qs[j], truths[j]); err != nil {
+			if err := svc.Observe(context.Background(), key, qs[j], truths[j]); err != nil {
 				t.Fatalf("Observe: %v", err)
 			}
 		}
@@ -661,7 +662,7 @@ func TestLifecycleEvictionRaceHammer(t *testing.T) {
 		t.Fatalf("counter imbalance: %+v", st)
 	}
 	// Serving still works after the dust settles.
-	if r := svc.Predict(key, qs[0]); r.Err != nil {
+	if r := svc.Predict(context.Background(), key, qs[0]); r.Err != nil {
 		t.Fatalf("final Predict: %v", r.Err)
 	}
 }

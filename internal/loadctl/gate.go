@@ -1,0 +1,170 @@
+package loadctl
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for GateConfig fields left zero.
+const (
+	DefaultMaxQueue = 64
+	DefaultMaxWait  = 100 * time.Millisecond
+)
+
+// GateConfig tunes a Gate.
+type GateConfig struct {
+	// MaxInFlight bounds concurrently admitted requests
+	// (<= 0: 4*GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot. Cheap requests may
+	// queue up to MaxQueue; heavy requests only up to MaxQueue/2
+	// (at least 1), so under saturation heavy work sheds first and the
+	// queue drains toward cheap work (<= 0: DefaultMaxQueue).
+	MaxQueue int
+	// MaxWait bounds how long a queued request waits before it is shed;
+	// it also caps how much stale queueing delay a shed response
+	// carries (<= 0: DefaultMaxWait).
+	MaxWait time.Duration
+}
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = DefaultMaxWait
+	}
+	return c
+}
+
+// GateStats is a snapshot of the gate counters.
+type GateStats struct {
+	// Admitted counts acquisitions that got a slot immediately; Queued
+	// counts acquisitions that waited in the queue first.
+	Admitted, Queued int64
+	// ShedQueueFull counts requests rejected because their cost class's
+	// queue was full; ShedTimeout counts queued requests that gave up
+	// after MaxWait; ShedCanceled counts queued requests abandoned by
+	// their context (client disconnect or blown deadline).
+	ShedQueueFull, ShedTimeout, ShedCanceled int64
+	// InFlight / Waiting are the current occupancy of slots and queue.
+	InFlight, Waiting int
+	// MeanQueueWait is the average time queued requests waited for a
+	// slot (admitted ones only).
+	MeanQueueWait time.Duration
+}
+
+// Gate is a concurrency-bounded admission gate: at most MaxInFlight
+// requests run at once, a short bounded queue absorbs bursts, and
+// everything beyond that is shed immediately (ErrOverloaded) so the
+// rejection itself costs microseconds, not a queue's worth of latency.
+// Heavy requests get half the queue of cheap ones — graceful
+// degradation sheds expensive work first. Safe for concurrent use; the
+// uncontended Acquire/Release fast path performs no allocations.
+type Gate struct {
+	slots     chan struct{}
+	maxQueue  int64
+	heavyMax  int64
+	maxWait   time.Duration
+	waiting   atomic.Int64
+	admitted  atomic.Int64
+	queued    atomic.Int64
+	shedFull  atomic.Int64
+	shedWait  atomic.Int64
+	shedCancl atomic.Int64
+	waitNS    atomic.Int64
+}
+
+// NewGate builds a gate from cfg.
+func NewGate(cfg GateConfig) *Gate {
+	cfg = cfg.withDefaults()
+	return &Gate{
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		maxQueue: int64(cfg.MaxQueue),
+		heavyMax: max(int64(cfg.MaxQueue)/2, 1),
+		maxWait:  cfg.MaxWait,
+	}
+}
+
+// Acquire admits one request of the given cost, blocking in the
+// bounded queue while the gate is saturated. It returns nil once a
+// slot is held (pair with Release), ErrOverloaded when the request is
+// shed, or ctx.Err() when the caller's context ends while queued. The
+// shed decision is immediate when the queue is full; a queued request
+// is shed after MaxWait.
+func (g *Gate) Acquire(ctx context.Context, cost Cost) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	default:
+	}
+	// Saturated: join the cost class's bounded queue or shed now. The
+	// shared waiting counter is compared against per-class bounds, so
+	// once cheap waiters fill the queue past MaxQueue/2, heavy arrivals
+	// shed instantly while cheap ones may still wait.
+	limit := g.maxQueue
+	if cost == CostHeavy {
+		limit = g.heavyMax
+	}
+	if g.waiting.Add(1) > limit {
+		g.waiting.Add(-1)
+		g.shedFull.Add(1)
+		return ErrOverloaded
+	}
+	start := time.Now()
+	t := time.NewTimer(g.maxWait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		g.waiting.Add(-1)
+		g.queued.Add(1)
+		g.waitNS.Add(int64(time.Since(start)))
+		return nil
+	case <-t.C:
+		g.waiting.Add(-1)
+		g.shedWait.Add(1)
+		return ErrOverloaded
+	case <-ctx.Done():
+		g.waiting.Add(-1)
+		g.shedCancl.Add(1)
+		return ctx.Err()
+	}
+}
+
+// TryAcquire admits one request only if a slot is free right now,
+// without queueing. The caller must Release on a true return.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees the slot held by a successful Acquire/TryAcquire.
+func (g *Gate) Release() { <-g.slots }
+
+// Stats snapshots the counters.
+func (g *Gate) Stats() GateStats {
+	st := GateStats{
+		Admitted:      g.admitted.Load(),
+		Queued:        g.queued.Load(),
+		ShedQueueFull: g.shedFull.Load(),
+		ShedTimeout:   g.shedWait.Load(),
+		ShedCanceled:  g.shedCancl.Load(),
+		InFlight:      len(g.slots),
+		Waiting:       int(g.waiting.Load()),
+	}
+	if st.Queued > 0 {
+		st.MeanQueueWait = time.Duration(g.waitNS.Load() / st.Queued)
+	}
+	return st
+}

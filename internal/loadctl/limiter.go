@@ -1,0 +1,152 @@
+package loadctl
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults for LimiterConfig fields left zero.
+const (
+	DefaultRate       = 500.0
+	DefaultMaxClients = 4096
+)
+
+// LimiterConfig tunes a Limiter.
+type LimiterConfig struct {
+	// Rate is the sustained per-client request rate in tokens/second
+	// (<= 0: DefaultRate).
+	Rate float64
+	// Burst is the bucket depth — how many requests a client may send
+	// back-to-back after idling (<= 0: 2*Rate, at least 1).
+	Burst float64
+	// MaxClients bounds the number of tracked client buckets. When a
+	// new client would exceed it, the least recently seen bucket is
+	// evicted — mirroring the lifecycle package's bounded-key
+	// discipline, so a flood of spoofed client keys costs bounded
+	// memory (<= 0: DefaultMaxClients).
+	MaxClients int
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Rate <= 0 {
+		c.Rate = DefaultRate
+	}
+	if c.Burst <= 0 {
+		c.Burst = max(2*c.Rate, 1)
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = DefaultMaxClients
+	}
+	return c
+}
+
+// clientBucket is one client's token bucket. Buckets live in an LRU
+// list keyed by client, so abusive or spoofed key floods evict idle
+// clients instead of growing memory without bound.
+type clientBucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// LimiterStats is a snapshot of the limiter counters.
+type LimiterStats struct {
+	// Allowed / Limited count Allow outcomes.
+	Allowed, Limited int64
+	// Clients is the current tracked-bucket count; Evicted counts
+	// buckets dropped by the MaxClients bound.
+	Clients int
+	Evicted int64
+}
+
+// Limiter rate-limits requests per client key with lazily created
+// token buckets. Safe for concurrent use. The admit fast path (a
+// tracked client with tokens available) performs no allocations, so a
+// limiter in front of the warm predict path keeps it allocation-free.
+type Limiter struct {
+	rate, burst float64
+	maxClients  int
+
+	mu      sync.Mutex
+	buckets map[string]*list.Element
+	lru     *list.List // front = most recently seen
+
+	allowed, limited, evicted atomic.Int64
+}
+
+// NewLimiter builds a limiter from cfg.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{
+		rate:       cfg.Rate,
+		burst:      cfg.Burst,
+		maxClients: cfg.MaxClients,
+		buckets:    map[string]*list.Element{},
+		lru:        list.New(),
+	}
+}
+
+// Allow spends one token from key's bucket at time now. When the
+// bucket is empty it reports false and how long the client should wait
+// before retrying (the time until one token refills) — the HTTP layer
+// turns that into a 429 with Retry-After. A brand-new key (or one
+// whose bucket was evicted) starts with a full burst allowance.
+func (l *Limiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	el, found := l.buckets[key]
+	if !found {
+		el = l.insertLocked(key, now)
+	}
+	b := el.Value.(*clientBucket)
+	l.lru.MoveToFront(el)
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.mu.Unlock()
+		l.allowed.Add(1)
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	l.mu.Unlock()
+	l.limited.Add(1)
+	return false, wait
+}
+
+// insertLocked creates a full bucket for key, evicting the least
+// recently seen client when at the bound. An evicted client's next
+// request re-creates its bucket at full burst — forgiveness is the
+// price of bounded memory, and an attacker cycling fresh keys is still
+// capped at MaxClients * Burst outstanding tokens.
+func (l *Limiter) insertLocked(key string, now time.Time) *list.Element {
+	if l.lru.Len() >= l.maxClients {
+		oldest := l.lru.Back()
+		victim := oldest.Value.(*clientBucket)
+		delete(l.buckets, victim.key)
+		l.lru.Remove(oldest)
+		l.evicted.Add(1)
+	}
+	el := l.lru.PushFront(&clientBucket{key: key, tokens: l.burst, last: now})
+	l.buckets[key] = el
+	return el
+}
+
+// Stats snapshots the counters.
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	clients := l.lru.Len()
+	l.mu.Unlock()
+	return LimiterStats{
+		Allowed: l.allowed.Load(),
+		Limited: l.limited.Load(),
+		Clients: clients,
+		Evicted: l.evicted.Load(),
+	}
+}

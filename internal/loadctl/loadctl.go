@@ -1,0 +1,44 @@
+// Package loadctl is the overload-protection layer of the serving
+// tier: per-client token-bucket rate limiters (bounded key count, LRU
+// eviction) and a concurrency-bounded admission gate with a short wait
+// queue and cost-aware load shedding. The serve package threads both in
+// front of its POST endpoints so a burst of expensive requests — or one
+// abusive client — degrades service gracefully (cheap requests keep
+// flowing, excess load is answered 429/503 in microseconds) instead of
+// collapsing every caller's latency together.
+//
+// The package is deliberately free of repro-internal dependencies so it
+// stays reusable by any HTTP front end; classification of what is
+// "cheap" versus "heavy" belongs to the caller.
+package loadctl
+
+import "errors"
+
+// ErrOverloaded is returned by Gate.Acquire when a request must be
+// shed: the server is at its concurrency bound and the wait queue for
+// the request's cost class is full (or the queue wait timed out).
+// HTTP layers should answer it with 503 and a Retry-After hint.
+var ErrOverloaded = errors.New("loadctl: server overloaded")
+
+// Cost classifies a request for admission. Under saturation the gate
+// sheds heavy requests first: they get a shorter wait queue, so the
+// remaining capacity drains toward cheap work and the system degrades
+// instead of collapsing.
+type Cost uint8
+
+const (
+	// CostCheap marks requests with small, predictable service times:
+	// single predictions against a resident model, observation appends.
+	CostCheap Cost = iota
+	// CostHeavy marks requests with large or unbounded service times:
+	// batch predictions, allocation sweeps, and anything forcing a cold
+	// model load.
+	CostHeavy
+)
+
+func (c Cost) String() string {
+	if c == CostHeavy {
+		return "heavy"
+	}
+	return "cheap"
+}

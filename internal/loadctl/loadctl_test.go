@@ -1,0 +1,315 @@
+package loadctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Rate: 10, Burst: 3})
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("client", now); !ok {
+			t.Fatalf("burst request %d denied, want allowed", i)
+		}
+	}
+	ok, retry := l.Allow("client", now)
+	if ok {
+		t.Fatal("request past burst allowed, want denied")
+	}
+	if retry <= 0 || retry > 200*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 100ms] at 10 tokens/s", retry)
+	}
+
+	// One token refills after 100ms at 10/s.
+	now = now.Add(110 * time.Millisecond)
+	if ok, _ := l.Allow("client", now); !ok {
+		t.Fatal("request after refill denied, want allowed")
+	}
+	if ok, _ := l.Allow("client", now); ok {
+		t.Fatal("second request after single refill allowed, want denied")
+	}
+
+	// Refill never exceeds the burst depth.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("client", now); !ok {
+			t.Fatalf("post-idle burst request %d denied, want allowed", i)
+		}
+	}
+	if ok, _ := l.Allow("client", now); ok {
+		t.Fatal("post-idle request past burst allowed, want capped at burst")
+	}
+}
+
+func TestLimiterIsolatesClients(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1})
+	now := time.Unix(1000, 0)
+	if ok, _ := l.Allow("a", now); !ok {
+		t.Fatal("client a first request denied")
+	}
+	if ok, _ := l.Allow("a", now); ok {
+		t.Fatal("client a second request allowed, want denied")
+	}
+	// An exhausted client a must not affect client b.
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("client b denied by client a's exhaustion")
+	}
+}
+
+func TestLimiterEvictsLRUClient(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Rate: 1, Burst: 1, MaxClients: 2})
+	now := time.Unix(1000, 0)
+	l.Allow("a", now) // a's bucket now empty
+	l.Allow("b", now)
+	l.Allow("b", now.Add(time.Millisecond)) // b most recently seen
+	// c's arrival evicts a (least recently seen).
+	l.Allow("c", now.Add(2*time.Millisecond))
+	st := l.Stats()
+	if st.Clients != 2 || st.Evicted != 1 {
+		t.Fatalf("stats = %+v, want 2 clients and 1 eviction", st)
+	}
+	// a returns with a fresh full bucket: forgiven, but bounded memory.
+	if ok, _ := l.Allow("a", now.Add(3*time.Millisecond)); !ok {
+		t.Fatal("evicted client a denied on return, want fresh bucket")
+	}
+}
+
+// TestLimiterAllowZeroAlloc pins the warm admit path at zero
+// allocations: a limiter in front of the warm predict path must not
+// make it allocate.
+func TestLimiterAllowZeroAlloc(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Rate: 1e9, Burst: 1e9})
+	now := time.Unix(1000, 0)
+	key := "10.0.0.1"
+	l.Allow(key, now)
+	allocs := testing.AllocsPerRun(100, func() {
+		now = now.Add(time.Microsecond)
+		l.Allow(key, now)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Allow allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestGateAdmitsUpToLimitThenQueues(t *testing.T) {
+	g := NewGate(GateConfig{MaxInFlight: 2, MaxQueue: 4, MaxWait: time.Second})
+	ctx := context.Background()
+	if err := g.Acquire(ctx, CostCheap); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := g.Acquire(ctx, CostCheap); err != nil {
+		t.Fatalf("second acquire: %v", err)
+	}
+
+	// Third must queue until a release.
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx, CostCheap) }()
+	select {
+	case err := <-done:
+		t.Fatalf("third acquire returned %v before any release", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	st := g.Stats()
+	if st.Admitted != 2 || st.Queued != 1 {
+		t.Fatalf("stats = %+v, want 2 admitted + 1 queued", st)
+	}
+}
+
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	g := NewGate(GateConfig{MaxInFlight: 1, MaxQueue: 2, MaxWait: time.Second})
+	ctx := context.Background()
+	if err := g.Acquire(ctx, CostCheap); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// Fill the queue with two cheap waiters.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { errs <- g.Acquire(ctx, CostCheap) }()
+	}
+	waitForWaiting(t, g, 2)
+
+	// Queue full: the next cheap arrival sheds immediately.
+	start := time.Now()
+	if err := g.Acquire(ctx, CostCheap); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("acquire with full queue = %v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("shed decision took %v, want immediate", d)
+	}
+
+	// Drain: release lets the waiters through one by one.
+	g.Release()
+	if err := <-errs; err != nil {
+		t.Fatalf("first queued acquire: %v", err)
+	}
+	g.Release()
+	if err := <-errs; err != nil {
+		t.Fatalf("second queued acquire: %v", err)
+	}
+}
+
+// TestGateHeavyShedsBeforeCheap: with the queue half full of waiters,
+// heavy arrivals shed while cheap arrivals may still queue — expensive
+// work degrades first.
+func TestGateHeavyShedsBeforeCheap(t *testing.T) {
+	g := NewGate(GateConfig{MaxInFlight: 1, MaxQueue: 4, MaxWait: time.Second})
+	ctx := context.Background()
+	if err := g.Acquire(ctx, CostCheap); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { errs <- g.Acquire(ctx, CostCheap) }()
+	}
+	waitForWaiting(t, g, 2)
+
+	// Heavy queue bound is MaxQueue/2 = 2: already at it, shed.
+	if err := g.Acquire(ctx, CostHeavy); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("heavy acquire = %v, want ErrOverloaded", err)
+	}
+	// A cheap request still has queue room.
+	cheap := make(chan error, 1)
+	go func() { cheap <- g.Acquire(ctx, CostCheap) }()
+	waitForWaiting(t, g, 3)
+
+	for i := 0; i < 3; i++ {
+		g.Release()
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("queued cheap acquire: %v", err)
+	}
+	if err := <-errs; err != nil {
+		t.Fatalf("queued cheap acquire: %v", err)
+	}
+	if err := <-cheap; err != nil {
+		t.Fatalf("late cheap acquire: %v", err)
+	}
+	if st := g.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("stats = %+v, want exactly the heavy request shed", st)
+	}
+}
+
+func TestGateQueueWaitTimesOut(t *testing.T) {
+	g := NewGate(GateConfig{MaxInFlight: 1, MaxQueue: 4, MaxWait: 30 * time.Millisecond})
+	ctx := context.Background()
+	if err := g.Acquire(ctx, CostCheap); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	start := time.Now()
+	if err := g.Acquire(ctx, CostCheap); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued acquire = %v, want ErrOverloaded after MaxWait", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("queued acquire shed after %v, want >= MaxWait", d)
+	}
+	if st := g.Stats(); st.ShedTimeout != 1 {
+		t.Fatalf("stats = %+v, want 1 timeout shed", st)
+	}
+}
+
+func TestGateHonorsContextWhileQueued(t *testing.T) {
+	g := NewGate(GateConfig{MaxInFlight: 1, MaxQueue: 4, MaxWait: time.Minute})
+	if err := g.Acquire(context.Background(), CostCheap); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx, CostCheap) }()
+	waitForWaiting(t, g, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled queued acquire = %v, want context.Canceled", err)
+	}
+	if st := g.Stats(); st.ShedCanceled != 1 {
+		t.Fatalf("stats = %+v, want 1 canceled shed", st)
+	}
+}
+
+// TestGateFastPathZeroAlloc pins the uncontended acquire/release cycle
+// at zero allocations.
+func TestGateFastPathZeroAlloc(t *testing.T) {
+	g := NewGate(GateConfig{MaxInFlight: 4})
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := g.Acquire(ctx, CostCheap); err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		g.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("fast-path acquire/release allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestGateConcurrentChurn hammers the gate from many goroutines and
+// checks the slot accounting stays consistent (run with -race).
+func TestGateConcurrentChurn(t *testing.T) {
+	g := NewGate(GateConfig{MaxInFlight: 4, MaxQueue: 8, MaxWait: 10 * time.Millisecond})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 200; i++ {
+				cost := CostCheap
+				if i%3 == 0 {
+					cost = CostHeavy
+				}
+				if err := g.Acquire(ctx, cost); err == nil {
+					g.Release()
+				} else if !errors.Is(err, ErrOverloaded) {
+					t.Errorf("worker %d: acquire = %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := g.Stats()
+	if st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("after churn: %+v, want empty gate", st)
+	}
+	if total := st.Admitted + st.Queued; total == 0 {
+		t.Fatal("no request was ever admitted")
+	}
+}
+
+func waitForWaiting(t *testing.T, g *Gate, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Stats().Waiting < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate never reached %d waiters (stats %+v)", n, g.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCostString(t *testing.T) {
+	for c, want := range map[Cost]string{CostCheap: "cheap", CostHeavy: "heavy"} {
+		if got := c.String(); got != want {
+			t.Fatalf("Cost(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+// Example of the intended HTTP wiring: limiter first (headers only),
+// then the gate with a cost picked by the route.
+func ExampleGate() {
+	g := NewGate(GateConfig{MaxInFlight: 1, MaxQueue: 1, MaxWait: time.Millisecond})
+	_ = g.Acquire(context.Background(), CostCheap)
+	err := g.Acquire(context.Background(), CostHeavy)
+	fmt.Println(errors.Is(err, ErrOverloaded))
+	// Output: true
+}

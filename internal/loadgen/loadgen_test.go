@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every value lands in a bucket whose lower bound
+// is at most the value and within the layout's relative error of it.
+func TestBucketRoundTrip(t *testing.T) {
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 1000, 4095, 4096,
+		1e6, 1e9, 37e9, 1 << 40}
+	for _, v := range values {
+		idx := bucketIdx(v)
+		lo := bucketValue(idx)
+		if lo > v {
+			t.Fatalf("bucketValue(bucketIdx(%d)) = %d > value", v, lo)
+		}
+		// Relative error bound: one sub-bucket width.
+		if v >= subBuckets && float64(v-lo) > float64(v)/subBuckets {
+			t.Fatalf("value %d quantized to %d: error beyond one sub-bucket", v, lo)
+		}
+		if v < subBuckets && lo != v {
+			t.Fatalf("small value %d quantized to %d, want exact", v, lo)
+		}
+	}
+}
+
+// TestBucketMonotonic: bucket index never decreases as values grow, so
+// quantiles are well ordered.
+func TestBucketMonotonic(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 37 {
+		idx := bucketIdx(v)
+		if idx < prev {
+			t.Fatalf("bucketIdx(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	// 1..1000 microseconds, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{0.999, 999 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		err := float64(c.want-got) / float64(c.want)
+		if got > c.want || err > 0.05 {
+			t.Fatalf("q%.3f = %v, want within 5%% below %v", c.q, got, c.want)
+		}
+	}
+	if max := h.Max(); max > time.Millisecond || max < 900*time.Microsecond {
+		t.Fatalf("max = %v, want ~1ms", max)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	if m := h.Max(); m != 0 {
+		t.Fatalf("empty max = %v, want 0", m)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	a, b := NewHist(), NewHist()
+	a.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count = %d, want 2", a.Count())
+	}
+	if q := a.Quantile(1.0); q < 900*time.Millisecond {
+		t.Fatalf("merged p100 = %v, want ~1s", q)
+	}
+}
+
+// TestRunOpenLoop: the scheduler issues roughly Rate*Duration arrivals
+// and classifies outcomes.
+func TestRunOpenLoop(t *testing.T) {
+	var n atomic.Int64
+	res := Run(Config{Rate: 2000, Duration: 200 * time.Millisecond}, func(seq int) Outcome {
+		n.Add(1)
+		switch seq % 4 {
+		case 0:
+			return OutcomeRateLimited
+		case 1:
+			return OutcomeShed
+		default:
+			return OutcomeOK
+		}
+	})
+	want := int64(2000 * 0.2)
+	if res.Sent < want/2 || res.Sent > want*2 {
+		t.Fatalf("sent = %d, want ~%d", res.Sent, want)
+	}
+	if res.Sent != n.Load() {
+		t.Fatalf("sent = %d but op ran %d times", res.Sent, n.Load())
+	}
+	if got := res.OK + res.RateLimited + res.Shed + res.Deadline + res.Errors; got != res.Sent {
+		t.Fatalf("outcomes sum to %d, want %d", got, res.Sent)
+	}
+	if res.OK == 0 || res.RateLimited == 0 || res.Shed == 0 {
+		t.Fatalf("outcome mix missing classes: %+v", res)
+	}
+	if res.OKLatency.Count() != res.OK || res.RejectLatency.Count() != res.RateLimited+res.Shed {
+		t.Fatal("latency histograms do not match outcome counts")
+	}
+	if res.Goodput() <= 0 {
+		t.Fatal("goodput = 0, want positive")
+	}
+}
+
+// TestRunBoundsOutstanding: with op blocking forever past the cap, the
+// generator drops instead of growing without bound.
+func TestRunBoundsOutstanding(t *testing.T) {
+	block := make(chan struct{})
+	// Unblock the stuck ops after the schedule ends so Run's final wait
+	// can finish.
+	timer := time.AfterFunc(150*time.Millisecond, func() { close(block) })
+	defer timer.Stop()
+	res := Run(Config{Rate: 5000, Duration: 100 * time.Millisecond, MaxOutstanding: 8}, func(seq int) Outcome {
+		<-block
+		return OutcomeError
+	})
+	if res.Dropped == 0 {
+		t.Fatal("no arrivals dropped despite a stuck server and an 8-request cap")
+	}
+	if res.Sent > 8 {
+		t.Fatalf("sent = %d, want <= MaxOutstanding", res.Sent)
+	}
+}

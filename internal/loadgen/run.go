@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome classifies one completed request.
+type Outcome int
+
+const (
+	// OutcomeOK is a successful (2xx) response — goodput.
+	OutcomeOK Outcome = iota
+	// OutcomeRateLimited is a 429 from the per-client rate limiter.
+	OutcomeRateLimited
+	// OutcomeShed is a 503 from the admission gate (or a draining
+	// health check).
+	OutcomeShed
+	// OutcomeDeadline is a 504: the budget ran out server-side.
+	OutcomeDeadline
+	// OutcomeError is any other failure (transport error, 5xx, 4xx).
+	OutcomeError
+)
+
+// Config tunes one open-loop run.
+type Config struct {
+	// Rate is the offered load in arrivals per second (> 0).
+	Rate float64
+	// Duration bounds the arrival schedule; in-flight requests are
+	// awaited past it, so the run's wall clock can exceed Duration by
+	// the slowest response.
+	Duration time.Duration
+	// MaxOutstanding caps concurrently in-flight requests, protecting
+	// the generator itself (file descriptors, goroutines) when the
+	// server stops answering. Arrivals past the cap are counted as
+	// Dropped, not silently skipped — a saturated generator must not
+	// masquerade as a healthy server (<= 0: 4096).
+	MaxOutstanding int
+}
+
+// Result aggregates one run.
+type Result struct {
+	// Offered is the configured arrival rate; Elapsed the measured
+	// schedule duration.
+	Offered float64
+	Elapsed time.Duration
+	// Sent counts issued requests; Dropped counts arrivals skipped
+	// because MaxOutstanding was reached (client-side overload).
+	Sent, Dropped int64
+	// Outcome counters.
+	OK, RateLimited, Shed, Deadline, Errors int64
+	// OKLatency holds latencies of successful responses only;
+	// RejectLatency those of rate-limited and shed responses — the
+	// price of a rejection, which must stay microseconds under
+	// overload.
+	OKLatency, RejectLatency *Hist
+}
+
+// Goodput is the successful-response rate in responses per second.
+func (r Result) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// Run drives op at cfg.Rate for cfg.Duration and aggregates outcomes.
+// Arrivals follow a fixed schedule (open loop): a slow or saturated
+// server does not slow the schedule down, it just accumulates
+// in-flight requests until MaxOutstanding protects the generator. op
+// receives the arrival's sequence number and must be safe for
+// concurrent calls.
+func Run(cfg Config, op func(seq int) Outcome) Result {
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 4096
+	}
+	res := Result{
+		Offered:       cfg.Rate,
+		OKLatency:     NewHist(),
+		RejectLatency: NewHist(),
+	}
+	var (
+		wg       sync.WaitGroup
+		sent     atomic.Int64
+		dropped  atomic.Int64
+		counts   [5]atomic.Int64
+		sem      = make(chan struct{}, cfg.MaxOutstanding)
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+		start    = time.Now()
+		deadline = start.Add(cfg.Duration)
+		next     = start
+		seq      = 0
+	)
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		// Launch every arrival the schedule says is due; sleeping once
+		// per batch keeps the schedule accurate at rates well above the
+		// sleep granularity.
+		for !next.After(now) {
+			next = next.Add(interval)
+			select {
+			case sem <- struct{}{}:
+			default:
+				dropped.Add(1)
+				seq++
+				continue
+			}
+			sent.Add(1)
+			wg.Add(1)
+			go func(seq int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				out := op(seq)
+				lat := time.Since(t0)
+				counts[out].Add(1)
+				switch out {
+				case OutcomeOK:
+					res.OKLatency.Observe(lat)
+				case OutcomeRateLimited, OutcomeShed:
+					res.RejectLatency.Observe(lat)
+				}
+			}(seq)
+			seq++
+		}
+		if d := time.Until(next); d > 0 {
+			if d > time.Millisecond {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	wg.Wait()
+	res.Sent = sent.Load()
+	res.Dropped = dropped.Load()
+	res.OK = counts[OutcomeOK].Load()
+	res.RateLimited = counts[OutcomeRateLimited].Load()
+	res.Shed = counts[OutcomeShed].Load()
+	res.Deadline = counts[OutcomeDeadline].Load()
+	res.Errors = counts[OutcomeError].Load()
+	return res
+}

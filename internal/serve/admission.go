@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadctl"
+)
+
+// Request headers understood by the admission layer.
+const (
+	// ClientKeyHeader identifies the client for per-client rate
+	// limiting; requests without it are keyed by remote address.
+	ClientKeyHeader = "X-API-Key"
+	// DeadlineHeader carries the client's remaining latency budget in
+	// milliseconds. The server derives a context deadline from it
+	// (capped at LoadControl.MaxDeadline), so work whose budget has
+	// run out is abandoned instead of computed for nobody.
+	DeadlineHeader = "X-Deadline-Ms"
+)
+
+var (
+	errRateLimited = errors.New("serve: client rate limit exceeded")
+	errOverloaded  = errors.New("serve: server overloaded, retry later")
+)
+
+// clientKey identifies the requester for rate limiting: the API key
+// header when present, else the host part of the remote address (so
+// all connections from one host share a bucket regardless of port).
+// Substring-only — no allocation on the admit path.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get(ClientKeyHeader); k != "" {
+		return k
+	}
+	addr := r.RemoteAddr
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// rateLimit runs the per-client token bucket against the request
+// headers (the body is untouched, so a limited client is answered
+// before its upload is read). A false return means the 429 response
+// has been written.
+func (s *Service) rateLimit(w http.ResponseWriter, r *http.Request) bool {
+	lc := s.loadctl.Load()
+	if lc == nil || lc.Limiter == nil {
+		return true
+	}
+	ok, retryAfter := lc.Limiter.Allow(clientKey(r), time.Now())
+	if ok {
+		return true
+	}
+	// Ceil to whole seconds: Retry-After of 0 would mean "now".
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	httpError(w, http.StatusTooManyRequests, errRateLimited)
+	return false
+}
+
+// admit passes the request through the admission gate at the given
+// cost. On admission it returns a release func (never nil) to defer;
+// a false return means the rejection response has been written. The
+// gate is waited on under ctx, so a client that disconnects or blows
+// its deadline while queued frees its queue slot immediately.
+func (s *Service) admit(ctx context.Context, w http.ResponseWriter, cost loadctl.Cost) (func(), bool) {
+	lc := s.loadctl.Load()
+	if lc == nil || lc.Gate == nil {
+		return func() {}, true
+	}
+	if err := lc.Gate.Acquire(ctx, cost); err != nil {
+		if errors.Is(err, loadctl.ErrOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, errOverloaded)
+		} else {
+			// Context ended while queued: the client is gone or out of
+			// budget; 504 documents the abandoned wait.
+			s.deadlineRejects.Add(1)
+			httpError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: request abandoned while queued: %w", err))
+		}
+		return nil, false
+	}
+	return lc.Gate.Release, true
+}
+
+// requestContext derives the handler context from the client's
+// deadline budget header. Absent (or unparseable) headers fall back to
+// the request's own context; a present budget is capped at the
+// configured MaxDeadline so a client cannot pin server resources with
+// an hour-long deadline.
+func (s *Service) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	lc := s.loadctl.Load()
+	h := r.Header.Get(DeadlineHeader)
+	if h == "" {
+		return r.Context(), func() {}
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		return r.Context(), func() {}
+	}
+	budget := time.Duration(ms) * time.Millisecond
+	maxD := DefaultMaxDeadline
+	if lc != nil && lc.MaxDeadline > 0 {
+		maxD = lc.MaxDeadline
+	}
+	if budget > maxD {
+		budget = maxD
+	}
+	return context.WithTimeout(r.Context(), budget)
+}
+
+// isDeadline reports whether err is a context expiry (server-side
+// deadline or client disconnect), which the HTTP layer answers 504.
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// writeDeadlineError answers a request whose budget ran out and counts
+// it.
+func (s *Service) writeDeadlineError(w http.ResponseWriter, err error) {
+	s.deadlineRejects.Add(1)
+	httpError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: deadline exceeded: %w", err))
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -181,7 +182,7 @@ func TestServiceAllocateFallback(t *testing.T) {
 	}
 	for _, x := range []int{2, 6, 12} {
 		rt, err := func() (float64, error) {
-			sm, err := svc.Registry().Get(key)
+			sm, err := svc.Registry().Get(context.Background(), key)
 			if err != nil {
 				return 0, err
 			}
@@ -192,7 +193,7 @@ func TestServiceAllocateFallback(t *testing.T) {
 		}
 		req.Observations = append(req.Observations, baselines.Point{ScaleOut: x, Runtime: rt})
 	}
-	res, err := svc.Allocate(key, req)
+	res, err := svc.Allocate(context.Background(), key, req)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -205,7 +206,7 @@ func TestServiceAllocateFallback(t *testing.T) {
 
 	// Without the support demand the model answers directly.
 	req.MinModelSamples = 0
-	res, err = svc.Allocate(key, req)
+	res, err = svc.Allocate(context.Background(), key, req)
 	if err != nil {
 		t.Fatalf("Allocate without support demand: %v", err)
 	}

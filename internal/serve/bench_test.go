@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"strconv"
 	"testing"
 	"time"
@@ -32,11 +33,11 @@ func TestWarmPredictZeroAlloc(t *testing.T) {
 	svc := NewService(cl.load, Options{})
 	key := ModelKey{Job: "sort", Env: "c3o"}
 	q := testQuery(4, 4096)
-	if r := svc.Predict(key, q); r.Err != nil {
+	if r := svc.Predict(context.Background(), key, q); r.Err != nil {
 		t.Fatalf("cold Predict: %v", r.Err)
 	}
 	if allocs := testing.AllocsPerRun(100, func() {
-		r := svc.Predict(key, q)
+		r := svc.Predict(context.Background(), key, q)
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
@@ -59,7 +60,7 @@ func TestWarmBatchSpeedup(t *testing.T) {
 	cold := NewService(cl.load, Options{ResultCap: 1}) // effectively uncached
 	startCold := time.Now()
 	for _, req := range reqs {
-		if r := cold.Predict(req.Key, req.Query); r.Err != nil {
+		if r := cold.Predict(context.Background(), req.Key, req.Query); r.Err != nil {
 			t.Fatalf("cold Predict: %v", r.Err)
 		}
 	}
@@ -68,13 +69,13 @@ func TestWarmBatchSpeedup(t *testing.T) {
 	// Warm path: batch served twice; the second pass hits the result
 	// cache for every request.
 	warm := NewService(cl.load, Options{ResultCap: 2048})
-	for i, r := range warm.PredictBatch(reqs) {
+	for i, r := range warm.PredictBatch(context.Background(), reqs) {
 		if r.Err != nil {
 			t.Fatalf("warm-up batch response %d: %v", i, r.Err)
 		}
 	}
 	startWarm := time.Now()
-	out := warm.PredictBatch(reqs)
+	out := warm.PredictBatch(context.Background(), reqs)
 	warmDur := time.Since(startWarm)
 	for i, r := range out {
 		if r.Err != nil {
@@ -99,14 +100,14 @@ func BenchmarkPredictBatchCold(b *testing.B) {
 	cl := &countingLoader{t: b}
 	svc := NewService(cl.load, Options{})
 	reqs := benchRequests(1000)
-	svc.PredictBatch(reqs[:1]) // load models outside the timed region
+	svc.PredictBatch(context.Background(), reqs[:1]) // load models outside the timed region
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tag := strconv.Itoa(i)
 		for j := range reqs {
 			reqs[j].Query.Essential[2].Value = "--iterations " + tag
 		}
-		svc.PredictBatch(reqs)
+		svc.PredictBatch(context.Background(), reqs)
 	}
 	b.ReportMetric(float64(b.N*len(reqs))/b.Elapsed().Seconds(), "pred/s")
 }
@@ -118,14 +119,14 @@ func BenchmarkPredictBatchColdF64(b *testing.B) {
 	cl := &countingLoader{t: b}
 	svc := NewService(cl.load, Options{Float64Serving: true})
 	reqs := benchRequests(1000)
-	svc.PredictBatch(reqs[:1]) // load models outside the timed region
+	svc.PredictBatch(context.Background(), reqs[:1]) // load models outside the timed region
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tag := strconv.Itoa(i)
 		for j := range reqs {
 			reqs[j].Query.Essential[2].Value = "--iterations " + tag
 		}
-		svc.PredictBatch(reqs)
+		svc.PredictBatch(context.Background(), reqs)
 	}
 	b.ReportMetric(float64(b.N*len(reqs))/b.Elapsed().Seconds(), "pred/s")
 }
@@ -136,10 +137,10 @@ func BenchmarkPredictBatchWarm(b *testing.B) {
 	cl := &countingLoader{t: b}
 	svc := NewService(cl.load, Options{ResultCap: 2048})
 	reqs := benchRequests(1000)
-	svc.PredictBatch(reqs)
+	svc.PredictBatch(context.Background(), reqs)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		svc.PredictBatch(reqs)
+		svc.PredictBatch(context.Background(), reqs)
 	}
 	b.ReportMetric(float64(b.N*len(reqs))/b.Elapsed().Seconds(), "pred/s")
 }
@@ -150,11 +151,11 @@ func BenchmarkPredictSingleCold(b *testing.B) {
 	cl := &countingLoader{t: b}
 	svc := NewService(cl.load, Options{ResultCap: 1})
 	reqs := benchRequests(1000)
-	svc.PredictBatch(reqs[:1])
+	svc.PredictBatch(context.Background(), reqs[:1])
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, req := range reqs {
-			svc.Predict(req.Key, req.Query)
+			svc.Predict(context.Background(), req.Key, req.Query)
 		}
 	}
 	b.ReportMetric(float64(b.N*len(reqs))/b.Elapsed().Seconds(), "pred/s")

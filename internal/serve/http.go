@@ -10,6 +10,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/encoding"
+	"repro/internal/loadctl"
 )
 
 // propertyJSON is the wire form of one descriptive property.
@@ -125,6 +126,23 @@ type statsJSON struct {
 	Alloc           allocStatsJSON `json:"alloc"`
 	Lifecycle       *lifecycleJSON `json:"lifecycle,omitempty"`
 	Store           *storeJSON     `json:"store,omitempty"`
+	LoadCtl         *loadctlJSON   `json:"loadctl,omitempty"`
+}
+
+// loadctlJSON is the wire form of the overload-protection counters.
+type loadctlJSON struct {
+	RateLimited       int64   `json:"rate_limited"`
+	Clients           int     `json:"clients"`
+	ClientsEvicted    int64   `json:"clients_evicted,omitempty"`
+	Admitted          int64   `json:"admitted"`
+	Queued            int64   `json:"queued"`
+	ShedQueueFull     int64   `json:"shed_queue_full"`
+	ShedTimeout       int64   `json:"shed_timeout"`
+	ShedCanceled      int64   `json:"shed_canceled"`
+	GateBypassed      int64   `json:"gate_bypassed"`
+	DeadlineRejects   int64   `json:"deadline_rejects"`
+	MeanQueueWaitUsec float64 `json:"mean_queue_wait_usec"`
+	Draining          bool    `json:"draining,omitempty"`
 }
 
 // allocStatsJSON is the wire form of the allocation counters.
@@ -248,18 +266,46 @@ const (
 	maxBatchRequests = 10000
 )
 
+// decodeBody decodes a bounded JSON request body into v. On failure it
+// writes the response — 413 when the body exceeded maxBodyBytes, 400
+// otherwise — and returns false. Decode errors are reported by kind
+// only; raw body contents never echo back to the client.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: request body exceeds %d bytes", tooLarge.Limit))
+		return false
+	}
+	httpError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding request: malformed JSON body"))
+	return false
+}
+
 // Handler returns the HTTP API of the service:
 //
 //	POST /v1/predict        one predictRequestJSON -> predictResponseJSON
 //	POST /v1/predict/batch  batchRequestJSON -> batchResponseJSON
+//	POST /v1/allocate       allocateRequestJSON -> allocateResponseJSON
+//	POST /v1/observe        observeRequestJSON -> observeResponseJSON
 //	GET  /v1/stats          statsJSON
-//	GET  /healthz           200 ok
+//	GET  /healthz           200 ok, 503 while draining
+//
+// When load control is attached (AttachLoadControl), every POST route
+// runs the per-client rate limiter against the headers before reading
+// the body, then passes the admission gate at a route-dependent cost;
+// cache-hit predicts bypass the gate entirely.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		if !s.rateLimit(w, r) {
+			return
+		}
 		var in predictRequestJSON
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		if !decodeBody(w, r, &in) {
 			return
 		}
 		req, err := toRequest(in)
@@ -267,12 +313,40 @@ func (s *Service) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, toResponseJSON(s.Predict(req.Key, req.Query)))
+		// A result-cache hit answers from memory in microseconds: let it
+		// bypass the gate so cached traffic keeps flowing at full rate
+		// even when the gate is saturated with expensive work.
+		if s.PeekCached(req.Key, req.Query) {
+			s.gateBypassed.Add(1)
+			writeJSON(w, toResponseJSON(s.Predict(r.Context(), req.Key, req.Query)))
+			return
+		}
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		// Predicting on a resident model is cheap; a cold model load is
+		// not, and sheds first under pressure.
+		cost := loadctl.CostHeavy
+		if s.reg.Resident(req.Key) {
+			cost = loadctl.CostCheap
+		}
+		release, ok := s.admit(ctx, w, cost)
+		if !ok {
+			return
+		}
+		defer release()
+		resp := s.Predict(ctx, req.Key, req.Query)
+		if resp.Err != nil && isDeadline(resp.Err) {
+			s.writeDeadlineError(w, resp.Err)
+			return
+		}
+		writeJSON(w, toResponseJSON(resp))
 	})
 	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !s.rateLimit(w, r) {
+			return
+		}
 		var in batchRequestJSON
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		if !decodeBody(w, r, &in) {
 			return
 		}
 		if len(in.Requests) > maxBatchRequests {
@@ -292,6 +366,14 @@ func (s *Service) Handler() http.Handler {
 			}
 			reqs[i] = req
 		}
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		// Batches fan out across models and queries: always heavy.
+		release, ok := s.admit(ctx, w, loadctl.CostHeavy)
+		if !ok {
+			return
+		}
+		defer release()
 		// Serve the well-formed subset in one batch.
 		var live []Request
 		var liveIdx []int
@@ -301,15 +383,21 @@ func (s *Service) Handler() http.Handler {
 				liveIdx = append(liveIdx, i)
 			}
 		}
-		for j, out := range s.PredictBatch(live) {
+		for j, out := range s.PredictBatch(ctx, live) {
 			resp.Responses[liveIdx[j]] = toResponseJSON(out)
+		}
+		if err := ctx.Err(); err != nil {
+			s.writeDeadlineError(w, err)
+			return
 		}
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
+		if !s.rateLimit(w, r) {
+			return
+		}
 		var in allocateRequestJSON
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		if !decodeBody(w, r, &in) {
 			return
 		}
 		key, req, err := toAllocateRequest(in)
@@ -317,8 +405,20 @@ func (s *Service) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		res, err := s.Allocate(key, req)
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		// Allocation sweeps a scale-out range through the model: heavy.
+		release, ok := s.admit(ctx, w, loadctl.CostHeavy)
+		if !ok {
+			return
+		}
+		defer release()
+		res, err := s.Allocate(ctx, key, req)
 		if err != nil {
+			if isDeadline(err) {
+				s.writeDeadlineError(w, err)
+				return
+			}
 			// An unloadable model is the server's (or deployment's)
 			// problem, not a malformed request: answer 404 so clients
 			// don't treat it as permanently invalid input.
@@ -334,9 +434,11 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, toAllocateResponseJSON(res))
 	})
 	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		if !s.rateLimit(w, r) {
+			return
+		}
 		var in observeRequestJSON
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&in); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		if !decodeBody(w, r, &in) {
 			return
 		}
 		req, err := toRequest(in.predictRequestJSON)
@@ -344,7 +446,19 @@ func (s *Service) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		if err := s.Observe(req.Key, req.Query, in.RuntimeSec); err != nil {
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+		// An observation is one validation pass plus a WAL append: cheap.
+		release, ok := s.admit(ctx, w, loadctl.CostCheap)
+		if !ok {
+			return
+		}
+		defer release()
+		if err := s.Observe(ctx, req.Key, req.Query, in.RuntimeSec); err != nil {
+			if isDeadline(err) {
+				s.writeDeadlineError(w, err)
+				return
+			}
 			code := http.StatusBadRequest
 			switch {
 			case errors.Is(err, ErrObserveDisabled):
@@ -419,9 +533,32 @@ func (s *Service) Handler() http.Handler {
 				CheckpointLoads:      ds.CheckpointLoads,
 			}
 		}
+		if lc := st.LoadCtl; lc != nil {
+			out.LoadCtl = &loadctlJSON{
+				RateLimited:       lc.RateLimited,
+				Clients:           lc.Clients,
+				ClientsEvicted:    lc.ClientsEvicted,
+				Admitted:          lc.Admitted,
+				Queued:            lc.Queued,
+				ShedQueueFull:     lc.ShedQueueFull,
+				ShedTimeout:       lc.ShedTimeout,
+				ShedCanceled:      lc.ShedCanceled,
+				GateBypassed:      lc.GateBypassed,
+				DeadlineRejects:   lc.DeadlineRejects,
+				MeanQueueWaitUsec: float64(lc.MeanQueueWait.Nanoseconds()) / 1e3,
+				Draining:          lc.Draining,
+			}
+		}
 		writeJSON(w, out)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// A draining server answers not-ready so load balancers stop
+		// routing new work to it while in-flight requests finish.
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -141,7 +142,7 @@ type recordingObserver struct {
 	capacity int
 }
 
-func (o *recordingObserver) Observe(key ModelKey, q core.Query, runtimeSec float64) error {
+func (o *recordingObserver) Observe(_ context.Context, key ModelKey, q core.Query, runtimeSec float64) error {
 	if runtimeSec <= 0 {
 		return fmt.Errorf("observed runtime %v must be positive", runtimeSec)
 	}
@@ -241,8 +242,8 @@ func TestHTTPObserveCapacityIs429(t *testing.T) {
 func TestHTTPStatsAndHealth(t *testing.T) {
 	srv, svc := newTestServer(t)
 
-	svc.Predict(ModelKey{Job: "sort", Env: "c3o"}, testQuery(4, 10000))
-	svc.Predict(ModelKey{Job: "sort", Env: "c3o"}, testQuery(4, 10000))
+	svc.Predict(context.Background(), ModelKey{Job: "sort", Env: "c3o"}, testQuery(4, 10000))
+	svc.Predict(context.Background(), ModelKey{Job: "sort", Env: "c3o"}, testQuery(4, 10000))
 
 	resp, err := http.Get(srv.URL + "/v1/stats")
 	if err != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -82,7 +83,7 @@ func TestDirLoaderTruncatedModelFile(t *testing.T) {
 // counts a load failure) instead of wedging the registry entry.
 func TestServiceSurfacesLoaderErrors(t *testing.T) {
 	svc := NewService(DirLoader(t.TempDir()), Options{})
-	r := svc.Predict(ModelKey{Job: "sort", Env: "c3o"}, testQuery(4, 10000))
+	r := svc.Predict(context.Background(), ModelKey{Job: "sort", Env: "c3o"}, testQuery(4, 10000))
 	if r.Err == nil {
 		t.Fatal("prediction against an empty model dir succeeded")
 	}

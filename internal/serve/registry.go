@@ -8,6 +8,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -237,9 +238,11 @@ func (r *Registry) SetVersionedLoader(vl VersionedLoader) { r.vloader = vl }
 
 // Get returns the serving model for key, loading it on first use. All
 // concurrent callers for the same key share one loader invocation. A
-// failed load is not cached: the next Get retries.
-func (r *Registry) Get(key ModelKey) (*Model, error) {
-	ref, err := r.GetRef(key)
+// failed load is not cached: the next Get retries. A caller whose ctx
+// ends while waiting on another goroutine's in-flight load abandons
+// the wait (the load itself continues for the surviving callers).
+func (r *Registry) Get(ctx context.Context, key ModelKey) (*Model, error) {
+	ref, err := r.GetRef(ctx, key)
 	if err != nil {
 		return nil, err
 	}
@@ -260,10 +263,23 @@ type Ref struct {
 // GetRef is Get plus the version/generation coordinates of the returned
 // model, for callers (the lifecycle controller) that later want to
 // Swap a derived model back in.
-func (r *Registry) GetRef(key ModelKey) (Ref, error) {
+func (r *Registry) GetRef(ctx context.Context, key ModelKey) (Ref, error) {
+	// A request that has already blown its deadline must not start (or
+	// wait for) a model load.
+	if err := ctx.Err(); err != nil {
+		return Ref{}, err
+	}
 	e, loaded := r.acquire(key)
 	if loaded {
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			// The single-flight load honors cancellation for waiters:
+			// this caller abandons the wait; the owning goroutine keeps
+			// loading so other callers (and the next request) still get
+			// the model.
+			return Ref{}, ctx.Err()
+		}
 		if e.err != nil {
 			return Ref{}, e.err
 		}
@@ -359,6 +375,17 @@ func (r *Registry) Swap(key ModelKey, gen uint64, m *core.Model) (uint64, bool) 
 	r.mu.Unlock()
 	r.swaps.Add(1)
 	return next.version, true
+}
+
+// Resident reports whether key's model is resident (or at least has a
+// load in flight), i.e. whether a Get would be a cheap cache hit or an
+// expensive cold load. The admission layer uses it to classify single
+// predictions without perturbing the LRU order.
+func (r *Registry) Resident(key ModelKey) bool {
+	r.mu.Lock()
+	_, ok := r.entries[key]
+	r.mu.Unlock()
+	return ok
 }
 
 // Version reports the currently published version of key, or false

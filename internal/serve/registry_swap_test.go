@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func TestRegistrySwapInstallsNewVersion(t *testing.T) {
 	reg := NewRegistry(cl.load, 4)
 	key := ModelKey{Job: "sort", Env: "c3o"}
 
-	ref, err := reg.GetRef(key)
+	ref, err := reg.GetRef(context.Background(), key)
 	if err != nil {
 		t.Fatalf("GetRef: %v", err)
 	}
@@ -61,7 +62,7 @@ func TestRegistrySwapInstallsNewVersion(t *testing.T) {
 
 	// New Gets see the new version; the old reference keeps serving the
 	// old weights (in-flight predictions finish undisturbed).
-	sm, err := reg.Get(key)
+	sm, err := reg.Get(context.Background(), key)
 	if err != nil {
 		t.Fatalf("Get after swap: %v", err)
 	}
@@ -97,7 +98,7 @@ func TestRegistrySwapRefusesEvictedGeneration(t *testing.T) {
 	reg := NewRegistry(cl.load, 2)
 	a := ModelKey{Job: "sort"}
 
-	ref, err := reg.GetRef(a)
+	ref, err := reg.GetRef(context.Background(), a)
 	if err != nil {
 		t.Fatalf("GetRef: %v", err)
 	}
@@ -113,7 +114,7 @@ func TestRegistrySwapRefusesEvictedGeneration(t *testing.T) {
 
 	// Evict a by filling the 2-slot registry with other keys.
 	for _, k := range []ModelKey{{Job: "grep"}, {Job: "sgd"}} {
-		if _, err := reg.Get(k); err != nil {
+		if _, err := reg.Get(context.Background(), k); err != nil {
 			t.Fatalf("Get(%s): %v", k, err)
 		}
 	}
@@ -130,7 +131,7 @@ func TestRegistrySwapRefusesEvictedGeneration(t *testing.T) {
 
 	// The next Get reloads from the loader — fresh weights, version 1,
 	// not the poisoned clone.
-	sm, err := reg.Get(a)
+	sm, err := reg.Get(context.Background(), a)
 	if err != nil {
 		t.Fatalf("Get after refused swap: %v", err)
 	}
@@ -162,14 +163,14 @@ func TestRegistrySwapRefusesReloadedGeneration(t *testing.T) {
 	reg := NewRegistry(cl.load, 1)
 	a := ModelKey{Job: "sort"}
 
-	ref, err := reg.GetRef(a)
+	ref, err := reg.GetRef(context.Background(), a)
 	if err != nil {
 		t.Fatalf("GetRef: %v", err)
 	}
-	if _, err := reg.Get(ModelKey{Job: "grep"}); err != nil { // evicts a
+	if _, err := reg.Get(context.Background(), ModelKey{Job: "grep"}); err != nil { // evicts a
 		t.Fatalf("Get: %v", err)
 	}
-	if _, err := reg.Get(a); err != nil { // reloads a under a new generation
+	if _, err := reg.Get(context.Background(), a); err != nil { // reloads a under a new generation
 		t.Fatalf("Get: %v", err)
 	}
 	clone, err := ref.Model.CloneCore()
@@ -202,7 +203,7 @@ func TestRegistrySwapConcurrentWithGets(t *testing.T) {
 			for it := 0; it < 20; it++ {
 				switch it % 3 {
 				case 0:
-					ref, err := reg.GetRef(key)
+					ref, err := reg.GetRef(context.Background(), key)
 					if err != nil {
 						t.Errorf("GetRef: %v", err)
 						return
@@ -214,7 +215,7 @@ func TestRegistrySwapConcurrentWithGets(t *testing.T) {
 					}
 					reg.Swap(key, ref.Gen, clone) // may be refused; both outcomes legal
 				case 1:
-					sm, err := reg.Get(key)
+					sm, err := reg.Get(context.Background(), key)
 					if err != nil {
 						t.Errorf("Get: %v", err)
 						return
@@ -224,7 +225,7 @@ func TestRegistrySwapConcurrentWithGets(t *testing.T) {
 						return
 					}
 				case 2:
-					if _, err := reg.Get(evictors[(g+it)%len(evictors)]); err != nil {
+					if _, err := reg.Get(context.Background(), evictors[(g+it)%len(evictors)]); err != nil {
 						t.Errorf("Get evictor: %v", err)
 						return
 					}
@@ -246,15 +247,15 @@ func TestServiceInvalidateResultsDropsOnlyThatModel(t *testing.T) {
 	k2 := ModelKey{Job: "grep", Env: "c3o"}
 	q := testQuery(4, 10000)
 
-	svc.Predict(k1, q)
-	svc.Predict(k2, q)
+	svc.Predict(context.Background(), k1, q)
+	svc.Predict(context.Background(), k2, q)
 	if n := svc.InvalidateResults(k1); n != 1 {
 		t.Fatalf("invalidated %d results, want 1", n)
 	}
-	if r := svc.Predict(k2, q); !r.Cached {
+	if r := svc.Predict(context.Background(), k2, q); !r.Cached {
 		t.Fatal("other model's memoized result was dropped")
 	}
-	if r := svc.Predict(k1, q); r.Cached {
+	if r := svc.Predict(context.Background(), k1, q); r.Cached {
 		t.Fatal("invalidated result still served from cache")
 	}
 }
@@ -268,11 +269,11 @@ func TestWarmPredictZeroAllocAfterSwap(t *testing.T) {
 	svc := NewService(cl.load, Options{})
 	key := ModelKey{Job: "sort", Env: "c3o"}
 	q := testQuery(4, 4096)
-	if r := svc.Predict(key, q); r.Err != nil {
+	if r := svc.Predict(context.Background(), key, q); r.Err != nil {
 		t.Fatalf("cold Predict: %v", r.Err)
 	}
 
-	ref, err := svc.Registry().GetRef(key)
+	ref, err := svc.Registry().GetRef(context.Background(), key)
 	if err != nil {
 		t.Fatalf("GetRef: %v", err)
 	}
@@ -283,11 +284,11 @@ func TestWarmPredictZeroAllocAfterSwap(t *testing.T) {
 
 	// Prime: one miss against the new version warms the result cache
 	// and the new model's workspace.
-	if r := svc.Predict(key, q); r.Err != nil || r.Cached {
+	if r := svc.Predict(context.Background(), key, q); r.Err != nil || r.Cached {
 		t.Fatalf("priming Predict = %+v, want uncached success", r)
 	}
 	if allocs := testing.AllocsPerRun(100, func() {
-		r := svc.Predict(key, q)
+		r := svc.Predict(context.Background(), key, q)
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
@@ -301,7 +302,7 @@ func TestWarmPredictZeroAllocAfterSwap(t *testing.T) {
 	// The model-level warm path stays allocation-free on the swapped
 	// version too: repeated batched inference through the registry
 	// model reuses its workspace.
-	sm, err := svc.Registry().Get(key)
+	sm, err := svc.Registry().Get(context.Background(), key)
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -138,7 +139,7 @@ func TestRegistrySingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			sm, err := reg.Get(key)
+			sm, err := reg.Get(context.Background(), key)
 			if err != nil {
 				t.Errorf("Get: %v", err)
 				return
@@ -171,7 +172,7 @@ func TestRegistryDistinctKeysConcurrent(t *testing.T) {
 			wg.Add(1)
 			go func(key ModelKey) {
 				defer wg.Done()
-				if _, err := reg.Get(key); err != nil {
+				if _, err := reg.Get(context.Background(), key); err != nil {
 					t.Errorf("Get(%s): %v", key, err)
 				}
 			}(key)
@@ -200,7 +201,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 	c := ModelKey{Job: "sgd"}
 
 	for _, k := range []ModelKey{a, b, c} {
-		if _, err := reg.Get(k); err != nil {
+		if _, err := reg.Get(context.Background(), k); err != nil {
 			t.Fatalf("Get(%s): %v", k, err)
 		}
 	}
@@ -211,7 +212,7 @@ func TestRegistryLRUEviction(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1", ev)
 	}
 	// a was least recently used and must reload; c stays resident.
-	if _, err := reg.Get(a); err != nil {
+	if _, err := reg.Get(context.Background(), a); err != nil {
 		t.Fatalf("Get(a) after eviction: %v", err)
 	}
 	if n := cl.count(a).Load(); n != 2 {
@@ -228,14 +229,14 @@ func TestRegistryLoadErrorRetries(t *testing.T) {
 	cl.failNext(key, 1)
 	reg := NewRegistry(cl.load, 4)
 
-	if _, err := reg.Get(key); err == nil {
+	if _, err := reg.Get(context.Background(), key); err == nil {
 		t.Fatal("Get succeeded despite injected load failure")
 	}
 	if st := reg.Stats(); st.LoadErrors != 1 {
 		t.Fatalf("LoadErrors = %d, want 1", st.LoadErrors)
 	}
 	// The failure must not be cached.
-	if _, err := reg.Get(key); err != nil {
+	if _, err := reg.Get(context.Background(), key); err != nil {
 		t.Fatalf("Get after failed load: %v", err)
 	}
 	if n := cl.count(key).Load(); n != 2 {
@@ -258,7 +259,7 @@ func TestServicePredictMatchesModelAndCaches(t *testing.T) {
 		t.Fatalf("direct Predict: %v", err)
 	}
 
-	r1 := svc.Predict(key, q)
+	r1 := svc.Predict(context.Background(), key, q)
 	if r1.Err != nil {
 		t.Fatalf("Predict: %v", r1.Err)
 	}
@@ -271,7 +272,7 @@ func TestServicePredictMatchesModelAndCaches(t *testing.T) {
 	if math.Abs(r1.RuntimeSec-want) > 1e-3*(1+math.Abs(want)) {
 		t.Fatalf("served prediction %v != direct prediction %v", r1.RuntimeSec, want)
 	}
-	r2 := svc.Predict(key, q)
+	r2 := svc.Predict(context.Background(), key, q)
 	if !r2.Cached || r2.RuntimeSec != r1.RuntimeSec {
 		t.Fatalf("second prediction cached=%v value=%v, want cached copy of %v", r2.Cached, r2.RuntimeSec, r1.RuntimeSec)
 	}
@@ -295,13 +296,13 @@ func TestPredictBatchMatchesSequential(t *testing.T) {
 	}
 	var want []float64
 	for _, req := range reqs {
-		r := svcSeq.Predict(req.Key, req.Query)
+		r := svcSeq.Predict(context.Background(), req.Key, req.Query)
 		if r.Err != nil {
 			t.Fatalf("sequential Predict: %v", r.Err)
 		}
 		want = append(want, r.RuntimeSec)
 	}
-	got := svcBatch.PredictBatch(reqs)
+	got := svcBatch.PredictBatch(context.Background(), reqs)
 	for i, r := range got {
 		if r.Err != nil {
 			t.Fatalf("batch response %d: %v", i, r.Err)
@@ -322,7 +323,7 @@ func TestPredictBatchDedupsRepeatedQueries(t *testing.T) {
 	q := testQuery(6, 10000)
 	reqs := []Request{{key, q}, {key, q}, {key, q}}
 
-	out := svc.PredictBatch(reqs)
+	out := svc.PredictBatch(context.Background(), reqs)
 	for i, r := range out {
 		if r.Err != nil {
 			t.Fatalf("response %d: %v", i, r.Err)
@@ -353,7 +354,7 @@ func TestPredictBatchPartialErrors(t *testing.T) {
 		{good, core.Query{ScaleOut: 4}}, // missing essential properties
 		{good, testQuery(8, 10000)},
 	}
-	out := svc.PredictBatch(reqs)
+	out := svc.PredictBatch(context.Background(), reqs)
 	if out[0].Err != nil || out[4].Err != nil {
 		t.Fatalf("valid requests failed: %v, %v", out[0].Err, out[4].Err)
 	}
@@ -380,7 +381,7 @@ func TestServiceConcurrentHammer(t *testing.T) {
 	for _, key := range keys {
 		for x := 2; x <= 12; x += 2 {
 			q := testQuery(x, 10000)
-			r := refSvc.Predict(key, q)
+			r := refSvc.Predict(context.Background(), key, q)
 			if r.Err != nil {
 				t.Fatalf("Predict: %v", r.Err)
 			}
@@ -401,9 +402,9 @@ func TestServiceConcurrentHammer(t *testing.T) {
 				q := testQuery(x, 10000)
 				var r Response
 				if it%2 == 0 {
-					r = svc.Predict(key, q)
+					r = svc.Predict(context.Background(), key, q)
 				} else {
-					r = svc.PredictBatch([]Request{{key, q}})[0]
+					r = svc.PredictBatch(context.Background(), []Request{{key, q}})[0]
 				}
 				if r.Err != nil {
 					t.Errorf("goroutine %d iter %d: %v", g, it, r.Err)

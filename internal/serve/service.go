@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/allocate"
 	"repro/internal/core"
+	"repro/internal/loadctl"
 	"repro/internal/parallel"
 )
 
@@ -61,6 +63,31 @@ type Stats struct {
 	Registry RegistryStats
 	// Alloc carries the resource-allocation counters.
 	Alloc AllocStats
+	// LoadCtl carries the overload-protection counters; nil when no
+	// load control is attached.
+	LoadCtl *LoadCtlStats
+}
+
+// LoadCtlStats is a snapshot of the overload-protection counters.
+type LoadCtlStats struct {
+	// RateLimited counts requests answered 429; Clients / ClientsEvicted
+	// mirror the limiter's tracked-bucket state.
+	RateLimited    int64
+	Clients        int
+	ClientsEvicted int64
+	// Admitted / Queued / Shed* mirror the admission gate.
+	Admitted, Queued                         int64
+	ShedQueueFull, ShedTimeout, ShedCanceled int64
+	// GateBypassed counts cache-hit predictions that skipped the gate.
+	GateBypassed int64
+	// DeadlineRejects counts requests answered 504 because their budget
+	// ran out server-side.
+	DeadlineRejects int64
+	// MeanQueueWait is the average slot wait of queued-then-admitted
+	// requests.
+	MeanQueueWait time.Duration
+	// Draining reports whether shutdown drain has started.
+	Draining bool
 }
 
 // AllocStats is a snapshot of the allocation counters.
@@ -82,9 +109,11 @@ type AllocStats struct {
 // Observer ingests live runtime observations for online model
 // improvement. The lifecycle controller implements it; the service
 // only forwards, so serving stays decoupled from how (or whether)
-// observations feed back into models.
+// observations feed back into models. Implementations should honor
+// ctx: an observation whose request deadline already passed must not
+// pay for a durable-log append the caller will never see acknowledged.
 type Observer interface {
-	Observe(key ModelKey, q core.Query, runtimeSec float64) error
+	Observe(ctx context.Context, key ModelKey, q core.Query, runtimeSec float64) error
 }
 
 // SwapNotifier is implemented by observers that hot-swap model
@@ -154,6 +183,11 @@ type Service struct {
 
 	observer atomic.Pointer[Observer]
 	storeRef atomic.Pointer[storeStatser]
+	loadctl  atomic.Pointer[LoadControl]
+
+	// draining flips once shutdown starts: /healthz answers 503 so load
+	// balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
 
 	// engines pools allocation engines: each holds reusable sweep and
 	// smoothing buffers, so warm allocations don't churn memory even
@@ -167,7 +201,52 @@ type Service struct {
 	allocCalls, allocErrors         atomic.Int64
 	allocViolations, allocFallbacks atomic.Int64
 	allocLatencyNS                  atomic.Int64
+
+	gateBypassed    atomic.Int64
+	deadlineRejects atomic.Int64
 }
+
+// LoadControl is the overload-protection configuration threaded in
+// front of the POST endpoints: a per-client rate limiter (429), an
+// admission gate (503), and a cap on client-requested deadlines.
+// Either component may be nil to disable it.
+type LoadControl struct {
+	// Limiter rate-limits per client key (X-API-Key header, falling
+	// back to the remote address) before the request body is read.
+	Limiter *loadctl.Limiter
+	// Gate bounds concurrently served requests. Cache-hit predictions
+	// bypass it entirely — serving a memoized float must never queue
+	// behind expensive work.
+	Gate *loadctl.Gate
+	// MaxDeadline caps the client-supplied X-Deadline-Ms budget
+	// (0: DefaultMaxDeadline).
+	MaxDeadline time.Duration
+}
+
+// DefaultMaxDeadline caps client-requested deadlines when
+// LoadControl.MaxDeadline is zero.
+const DefaultMaxDeadline = 30 * time.Second
+
+// AttachLoadControl arms overload protection on the HTTP endpoints.
+// Attach before serving traffic. Requests are processed in this order:
+// rate limiter (headers only, so a limited client is answered before
+// its body is read), body decode, result-cache bypass check, admission
+// gate, deadline-derived context, service call.
+func (s *Service) AttachLoadControl(lc LoadControl) {
+	if lc.MaxDeadline <= 0 {
+		lc.MaxDeadline = DefaultMaxDeadline
+	}
+	s.loadctl.Store(&lc)
+}
+
+// SetDraining marks the service as draining (or not): /healthz answers
+// 503 so load balancers and orchestrators stop sending new traffic
+// while in-flight requests complete. The serve command flips it as the
+// first step of graceful shutdown.
+func (s *Service) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether shutdown drain has started.
+func (s *Service) Draining() bool { return s.draining.Load() }
 
 // NewService builds a service loading models through loader.
 func NewService(loader Loader, opts Options) *Service {
@@ -187,16 +266,26 @@ func NewService(loader Loader, opts Options) *Service {
 // model is resolved through GetRef, so an allocation always runs on the
 // latest hot-swapped version, and its reported fine-tune support drives
 // the engine's interpolation fallback.
-func (s *Service) Allocate(key ModelKey, req allocate.Request) (*allocate.Result, error) {
+func (s *Service) Allocate(ctx context.Context, key ModelKey, req allocate.Request) (*allocate.Result, error) {
 	start := time.Now()
 	defer func() {
 		s.allocLatencyNS.Add(int64(time.Since(start)))
 		s.allocCalls.Add(1)
 	}()
-	ref, err := s.reg.GetRef(key)
+	ref, err := s.reg.GetRef(ctx, key)
 	if err != nil {
 		s.allocErrors.Add(1)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("%w: %w", ErrModelUnavailable, err)
+	}
+	// The sweep is one bounded forward pass; re-checking the deadline
+	// here (after a possible cold load) is the last cheap abandon point
+	// before the GEMM path.
+	if err := ctx.Err(); err != nil {
+		s.allocErrors.Add(1)
+		return nil, err
 	}
 	e := s.engines.Get().(*allocate.Engine)
 	res, err := e.Allocate(ref.Model, req)
@@ -233,12 +322,12 @@ func (s *Service) AttachObserver(o Observer) {
 
 // Observe forwards a live runtime observation to the attached
 // observer, or reports ErrObserveDisabled when there is none.
-func (s *Service) Observe(key ModelKey, q core.Query, runtimeSec float64) error {
+func (s *Service) Observe(ctx context.Context, key ModelKey, q core.Query, runtimeSec float64) error {
 	o := s.observer.Load()
 	if o == nil {
 		return ErrObserveDisabled
 	}
-	return (*o).Observe(key, q, runtimeSec)
+	return (*o).Observe(ctx, key, q, runtimeSec)
 }
 
 // lifecycleStats snapshots the attached observer's counters, if it
@@ -268,14 +357,30 @@ func (s *Service) InvalidateResults(key ModelKey) int {
 	return n
 }
 
-// Predict answers a single request.
-func (s *Service) Predict(key ModelKey, q core.Query) Response {
-	start := time.Now()
-	defer s.observe(start, 1)
-	return s.predictOne(key, q)
+// PeekCached reports whether (key, q) can be answered from the result
+// cache right now, without touching the registry or model. The
+// admission layer uses it to let cache-hit predictions bypass the gate
+// — they cost microseconds and keeping them flowing under overload is
+// the point of graceful degradation. Allocation-free.
+func (s *Service) PeekCached(key ModelKey, q core.Query) bool {
+	bufp := fpPool.Get().(*[]byte)
+	fp := appendFingerprint((*bufp)[:0], key, q)
+	_, ok := s.results.get(fp)
+	*bufp = fp
+	fpPool.Put(bufp)
+	return ok
 }
 
-func (s *Service) predictOne(key ModelKey, q core.Query) Response {
+// Predict answers a single request. A cache hit ignores ctx (the value
+// is already in hand); a miss respects its deadline before touching
+// the model.
+func (s *Service) Predict(ctx context.Context, key ModelKey, q core.Query) Response {
+	start := time.Now()
+	defer s.observe(start, 1)
+	return s.predictOne(ctx, key, q)
+}
+
+func (s *Service) predictOne(ctx context.Context, key ModelKey, q core.Query) Response {
 	bufp := fpPool.Get().(*[]byte)
 	fp := appendFingerprint((*bufp)[:0], key, q)
 	v, ok := s.results.get(fp)
@@ -289,11 +394,17 @@ func (s *Service) predictOne(key ModelKey, q core.Query) Response {
 	*bufp = fp
 	fpPool.Put(bufp)
 	s.resultMisses.Add(1)
+	// A blown deadline abandons the request before the model load and
+	// forward pass — the caller is gone; computing would only steal
+	// capacity from live requests.
+	if err := ctx.Err(); err != nil {
+		return Response{Err: err}
+	}
 	// Snapshot the invalidation epoch before touching the model: if a
 	// hot-swap invalidates this key while the prediction is in flight,
 	// the epoch moves and the stale value is not memoized.
 	epoch := s.results.snapshot()
-	sm, err := s.reg.Get(key)
+	sm, err := s.reg.Get(ctx, key)
 	if err != nil {
 		return Response{Err: err}
 	}
@@ -363,8 +474,12 @@ func (sc *batchScratch) release() {
 // PredictBatch answers many requests at once: result-cache hits are
 // served immediately, the remaining distinct queries are grouped by
 // model and run as one forward pass per model, with model groups fanned
-// across CPU cores. Responses align with the input order.
-func (s *Service) PredictBatch(reqs []Request) []Response {
+// across CPU cores. Responses align with the input order. Cache hits
+// are served regardless of ctx; the per-model forward passes check the
+// deadline before loading a model and before entering the GEMM path,
+// so a request that has already blown its budget is abandoned with
+// ctx's error instead of burning compute.
+func (s *Service) PredictBatch(ctx context.Context, reqs []Request) []Response {
 	start := time.Now()
 	defer s.observe(start, len(reqs))
 
@@ -432,7 +547,13 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 		key := keys[k]
 		miss := groups[key]
 		region := sc.offs[k]
-		sm, err := s.reg.Get(key)
+		if err := ctx.Err(); err != nil {
+			for _, g := range miss {
+				g.forEachIdx(func(i int) { out[i] = Response{Err: err} })
+			}
+			return
+		}
+		sm, err := s.reg.Get(ctx, key)
 		if err != nil {
 			for _, g := range miss {
 				g.forEachIdx(func(i int) { out[i] = Response{Err: err} })
@@ -450,6 +571,14 @@ func (s *Service) PredictBatch(reqs []Request) []Response {
 			valid = append(valid, g)
 		}
 		if len(valid) == 0 {
+			return
+		}
+		// Last abandon point before the forward pass: the model is in
+		// hand, but a dead request must not enter the GEMM path.
+		if err := ctx.Err(); err != nil {
+			for _, g := range valid {
+				g.forEachIdx(func(i int) { out[i] = Response{Err: err} })
+			}
 			return
 		}
 		qs := sc.qs[region : region+len(valid)]
@@ -490,7 +619,7 @@ func (s *Service) Stats() Stats {
 	if allocCalls > 0 {
 		allocMean = time.Duration(s.allocLatencyNS.Load() / allocCalls)
 	}
-	return Stats{
+	st := Stats{
 		Requests:       s.requests.Load(),
 		Calls:          calls,
 		ResultHits:     s.resultHits.Load(),
@@ -506,4 +635,28 @@ func (s *Service) Stats() Stats {
 			MeanLatency: allocMean,
 		},
 	}
+	if lc := s.loadctl.Load(); lc != nil {
+		lcs := &LoadCtlStats{
+			GateBypassed:    s.gateBypassed.Load(),
+			DeadlineRejects: s.deadlineRejects.Load(),
+			Draining:        s.draining.Load(),
+		}
+		if lc.Limiter != nil {
+			ls := lc.Limiter.Stats()
+			lcs.RateLimited = ls.Limited
+			lcs.Clients = ls.Clients
+			lcs.ClientsEvicted = ls.Evicted
+		}
+		if lc.Gate != nil {
+			gs := lc.Gate.Stats()
+			lcs.Admitted = gs.Admitted
+			lcs.Queued = gs.Queued
+			lcs.ShedQueueFull = gs.ShedQueueFull
+			lcs.ShedTimeout = gs.ShedTimeout
+			lcs.ShedCanceled = gs.ShedCanceled
+			lcs.MeanQueueWait = gs.MeanQueueWait
+		}
+		st.LoadCtl = lcs
+	}
+	return st
 }

@@ -61,6 +61,12 @@ func (o Options) withDefaults() Options {
 // the longest clean prefix.
 var ErrCorrupt = errors.New("store: corrupt segment")
 
+// ErrClosed rejects appends after Close has sealed the WAL. During a
+// graceful drain the HTTP server stops before the store closes, so in
+// practice only a misordered shutdown sequence sees it — and it turns
+// that bug into a clean rejection instead of a write to a closed file.
+var ErrClosed = errors.New("store: closed")
+
 // Stats is a snapshot of the store counters.
 type Stats struct {
 	// WALAppends / WALAppendedBytes count framed records written.

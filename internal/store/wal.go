@@ -165,6 +165,9 @@ func (w *wal) append(payload []byte) error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		return ErrClosed
+	}
 	if w.size >= w.segBytes {
 		if err := w.sealLocked(); err != nil {
 			return err
