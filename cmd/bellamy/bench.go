@@ -1,39 +1,38 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/loadgen"
 )
 
 // benchRun is the JSON record of one offered-load level, written by
 // -out. The bench section of BENCH_http.json holds these verbatim.
 type benchRun struct {
-	OfferedRPS   float64 `json:"offered_rps"`
-	DurationSec  float64 `json:"duration_sec"`
-	Sent         int64   `json:"sent"`
-	Dropped      int64   `json:"dropped,omitempty"`
-	OK           int64   `json:"ok"`
-	RateLimited  int64   `json:"rate_limited"`
-	Shed         int64   `json:"shed"`
-	Deadline     int64   `json:"deadline"`
-	Errors       int64   `json:"errors"`
-	GoodputRPS   float64 `json:"goodput_rps"`
-	OKP50Usec    float64 `json:"ok_p50_usec"`
-	OKP99Usec    float64 `json:"ok_p99_usec"`
-	OKP999Usec   float64 `json:"ok_p999_usec"`
-	OKMaxUsec    float64 `json:"ok_max_usec"`
-	ShedP99Usec  float64 `json:"shed_p99_usec"`
-	ShedMaxUsec  float64 `json:"shed_max_usec"`
+	OfferedRPS  float64 `json:"offered_rps"`
+	DurationSec float64 `json:"duration_sec"`
+	Sent        int64   `json:"sent"`
+	Dropped     int64   `json:"dropped,omitempty"`
+	OK          int64   `json:"ok"`
+	RateLimited int64   `json:"rate_limited"`
+	Shed        int64   `json:"shed"`
+	Deadline    int64   `json:"deadline"`
+	Errors      int64   `json:"errors"`
+	GoodputRPS  float64 `json:"goodput_rps"`
+	OKP50Usec   float64 `json:"ok_p50_usec"`
+	OKP99Usec   float64 `json:"ok_p99_usec"`
+	OKP999Usec  float64 `json:"ok_p999_usec"`
+	OKMaxUsec   float64 `json:"ok_max_usec"`
+	ShedP99Usec float64 `json:"shed_p99_usec"`
+	ShedMaxUsec float64 `json:"shed_max_usec"`
 }
 
 func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -59,64 +58,6 @@ func toBenchRun(r loadgen.Result) benchRun {
 	}
 }
 
-// benchTarget builds the request bodies once and issues them per
-// arrival: a weighted predict/observe/allocate mix against one model
-// key, scale-outs cycled per sequence number so the result-cache hit
-// ratio is controlled by how many distinct scale-outs are offered.
-type benchTarget struct {
-	client      *http.Client
-	baseURL     string
-	deadlineMS  int
-	apiKeys     int
-	predictCut  int // mix thresholds out of 100: seq%100 < predictCut -> predict
-	observeCut  int // predictCut <= seq%100 < observeCut -> observe
-	predictReqs [][]byte
-	observeReqs [][]byte
-	allocateReq []byte
-}
-
-func (t *benchTarget) issue(seq int) loadgen.Outcome {
-	var path string
-	var body []byte
-	switch m := seq % 100; {
-	case m < t.predictCut:
-		path, body = "/v1/predict", t.predictReqs[seq%len(t.predictReqs)]
-	case m < t.observeCut:
-		path, body = "/v1/observe", t.observeReqs[seq%len(t.observeReqs)]
-	default:
-		path, body = "/v1/allocate", t.allocateReq
-	}
-	req, err := http.NewRequest(http.MethodPost, t.baseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return loadgen.OutcomeError
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if t.deadlineMS > 0 {
-		req.Header.Set("X-Deadline-Ms", strconv.Itoa(t.deadlineMS))
-	}
-	if t.apiKeys > 0 {
-		req.Header.Set("X-API-Key", "bench-"+strconv.Itoa(seq%t.apiKeys))
-	}
-	resp, err := t.client.Do(req)
-	if err != nil {
-		return loadgen.OutcomeError
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	switch {
-	case resp.StatusCode >= 200 && resp.StatusCode < 300:
-		return loadgen.OutcomeOK
-	case resp.StatusCode == http.StatusTooManyRequests:
-		return loadgen.OutcomeRateLimited
-	case resp.StatusCode == http.StatusServiceUnavailable:
-		return loadgen.OutcomeShed
-	case resp.StatusCode == http.StatusGatewayTimeout:
-		return loadgen.OutcomeDeadline
-	default:
-		return loadgen.OutcomeError
-	}
-}
-
 func parseRates(s string) ([]float64, error) {
 	var out []float64
 	for _, part := range strings.Split(s, ",") {
@@ -134,6 +75,16 @@ func parseRates(s string) ([]float64, error) {
 		return nil, fmt.Errorf("missing rates (e.g. -rates 100,500,2000)")
 	}
 	return out, nil
+}
+
+// apiProps converts collected -essential / -optional flags to the
+// canonical wire form.
+func apiProps(ps *propsFlag) []api.Property {
+	out := make([]api.Property, len(ps.props))
+	for i, p := range ps.props {
+		out[i] = api.Property{Name: p.Name, Value: p.Value}
+	}
+	return out
 }
 
 func runBench(args []string) error {
@@ -164,9 +115,6 @@ func runBench(args []string) error {
 	if *job == "" {
 		return fmt.Errorf("bench: missing -job")
 	}
-	if *predictPct < 0 || *observePct < 0 || *predictPct+*observePct > 100 {
-		return fmt.Errorf("bench: -predict-pct %d + -observe-pct %d must fit in 100 (the rest allocates)", *predictPct, *observePct)
-	}
 	levels, err := parseRates(*rates)
 	if err != nil {
 		return fmt.Errorf("bench: %w", err)
@@ -176,48 +124,28 @@ func runBench(args []string) error {
 		return fmt.Errorf("bench: %w", err)
 	}
 
-	props := func(ps *propsFlag) []propertyWire {
-		out := make([]propertyWire, len(ps.props))
-		for i, p := range ps.props {
-			out[i] = propertyWire{Name: p.Name, Value: p.Value}
-		}
-		return out
-	}
-	t := &benchTarget{
-		client: &http.Client{
+	t, err := loadgen.NewHTTPTarget(loadgen.HTTPTargetConfig{
+		BaseURL: *baseURL,
+		Client: &http.Client{
 			Timeout: 2 * time.Minute,
 			Transport: &http.Transport{
 				MaxIdleConns:        *outstanding,
 				MaxIdleConnsPerHost: *outstanding,
 			},
 		},
-		baseURL:    strings.TrimRight(*baseURL, "/"),
-		deadlineMS: *deadlineMS,
-		apiKeys:    *apiKeys,
-		predictCut: *predictPct,
-		observeCut: *predictPct + *observePct,
-	}
-	minX, maxX := xs[0], xs[0]
-	for _, x := range xs {
-		minX, maxX = min(minX, x), max(maxX, x)
-		p, _ := json.Marshal(predictWire{
-			Job: *job, Env: *env, ScaleOut: x,
-			Essential: props(essential), Optional: props(optional),
-		})
-		t.predictReqs = append(t.predictReqs, p)
-		o, _ := json.Marshal(observeWire{
-			predictWire: predictWire{Job: *job, Env: *env, ScaleOut: x,
-				Essential: props(essential), Optional: props(optional)},
-			RuntimeSec: *runtimeSec,
-		})
-		t.observeReqs = append(t.observeReqs, o)
-	}
-	t.allocateReq, _ = json.Marshal(allocateWire{
 		Job: *job, Env: *env,
-		Essential: props(essential), Optional: props(optional),
-		MinScaleOut: minX, MaxScaleOut: maxX,
-		DeadlineSec: 1e6, CostPerNodeHour: 1,
+		ScaleOuts: xs,
+		Essential: apiProps(essential),
+		Optional:  apiProps(optional),
+
+		PredictPct: *predictPct, ObservePct: *observePct,
+		ObserveRuntimeSec: *runtimeSec,
+		DeadlineMS:        *deadlineMS,
+		APIKeys:           *apiKeys,
 	})
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
 
 	fmt.Printf("%10s %9s %9s %8s %8s %8s %8s %9s %9s %9s %9s\n",
 		"offered", "goodput", "ok", "429", "503", "504", "err", "p50", "p99", "p999", "shed p99")
@@ -227,7 +155,7 @@ func runBench(args []string) error {
 			Rate:           rate,
 			Duration:       *duration,
 			MaxOutstanding: *outstanding,
-		}, t.issue)
+		}, t.Issue)
 		run := toBenchRun(res)
 		runs = append(runs, run)
 		fmt.Printf("%8.0f/s %7.0f/s %9d %8d %8d %8d %8d %8.0fµ %8.0fµ %8.0fµ %8.0fµ\n",
@@ -247,35 +175,4 @@ func runBench(args []string) error {
 		fmt.Printf("wrote %s\n", *outPath)
 	}
 	return nil
-}
-
-// Wire shapes for the request bodies (mirrors internal/serve's JSON
-// API; duplicated here because those types are unexported).
-type propertyWire struct {
-	Name  string `json:"name"`
-	Value string `json:"value"`
-}
-
-type predictWire struct {
-	Job       string         `json:"job"`
-	Env       string         `json:"env"`
-	ScaleOut  int            `json:"scale_out"`
-	Essential []propertyWire `json:"essential"`
-	Optional  []propertyWire `json:"optional,omitempty"`
-}
-
-type observeWire struct {
-	predictWire
-	RuntimeSec float64 `json:"runtime_sec"`
-}
-
-type allocateWire struct {
-	Job             string         `json:"job"`
-	Env             string         `json:"env"`
-	Essential       []propertyWire `json:"essential"`
-	Optional        []propertyWire `json:"optional,omitempty"`
-	MinScaleOut     int            `json:"min_scale_out"`
-	MaxScaleOut     int            `json:"max_scale_out"`
-	DeadlineSec     float64        `json:"deadline_sec"`
-	CostPerNodeHour float64        `json:"cost_per_node_hour"`
 }

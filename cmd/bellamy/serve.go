@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/lifecycle"
 	"repro/internal/loadctl"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -24,12 +26,23 @@ import (
 // serve process (with -addr :0) through its SIGTERM drain path.
 var testHookServeReady func(addr string)
 
+// shardRuntime bundles one shard's serving stack: the service, its
+// durable store (nil without -data-dir), and its lifecycle controller
+// (nil without -observe). A single-shard deployment is one of these;
+// -shards N builds N and routes between them.
+type shardRuntime struct {
+	svc *serve.Service
+	st  *store.Store
+	ctl *lifecycle.Controller
+}
+
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelsDir := fs.String("models", "", "directory of <job>_<env>.model files (required)")
 	addr := fs.String("addr", ":8080", "listen address")
-	modelCap := fs.Int("model-cache", serve.DefaultModelCap, "max resident models")
-	resultCap := fs.Int("result-cache", serve.DefaultResultCap, "max memoized prediction results")
+	shards := fs.Int("shards", 1, "in-process shard count; >1 partitions (job, env) keys over a consistent-hash ring, fans batches out per shard, and replicates hot-swapped models between shards")
+	modelCap := fs.Int("model-cache", serve.DefaultModelCap, "max resident models (per shard)")
+	resultCap := fs.Int("result-cache", serve.DefaultResultCap, "max memoized prediction results (per shard)")
 	workers := fs.Int("workers", 0, "per-batch fan-out workers (0 = GOMAXPROCS)")
 	observe := fs.Bool("observe", false, "accept runtime observations on POST /v1/observe and fine-tune served models online")
 	ftInterval := fs.Duration("finetune-interval", lifecycle.DefaultInterval, "background fine-tune scan period")
@@ -38,13 +51,13 @@ func runServe(args []string) error {
 	ftBuffer := fs.Int("observe-buffer", lifecycle.DefaultBufferCap, "per-model observation ring capacity")
 	ftMaxKeys := fs.Int("observe-max-models", lifecycle.DefaultMaxKeys, "max distinct models holding observation buffers")
 	f64Serve := fs.Bool("f64-serve", false, "serve predictions in full float64 instead of the quantized float32 inference path")
-	dataDir := fs.String("data-dir", "", "durable store directory (WAL + compacted segments + model checkpoints); empty disables durability")
+	dataDir := fs.String("data-dir", "", "durable store directory (WAL + compacted segments + model checkpoints); sharded serving uses <dir>/shard-<i> per shard; empty disables durability")
 	fsyncMode := fs.String("fsync", "always", "WAL durability: always (every append), interval (batched), never (OS page cache)")
 	compactEvery := fs.Duration("compact-interval", store.DefaultCompactInterval, "period between WAL compactions into indexed segments")
 	rate := fs.Float64("rate-limit", loadctl.DefaultRate, "per-client request rate limit in req/s (0 disables rate limiting)")
 	rateBurst := fs.Float64("rate-burst", 0, "per-client burst depth (0 = 2x rate)")
 	maxClients := fs.Int("max-clients", loadctl.DefaultMaxClients, "max tracked rate-limit clients (LRU beyond)")
-	maxInFlight := fs.Int("max-inflight", 0, "max concurrently admitted requests (0 = 4x GOMAXPROCS, negative disables the admission gate)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently admitted requests per shard (0 = 4x GOMAXPROCS, negative disables the admission gate)")
 	maxQueue := fs.Int("max-queue", loadctl.DefaultMaxQueue, "admission queue depth; heavy requests get half of it")
 	maxWait := fs.Duration("max-wait", loadctl.DefaultMaxWait, "max time a request queues for admission before it is shed")
 	maxDeadline := fs.Duration("max-deadline", serve.DefaultMaxDeadline, "cap on client-supplied X-Deadline-Ms budgets")
@@ -55,108 +68,196 @@ func runServe(args []string) error {
 	if *modelsDir == "" {
 		return fmt.Errorf("serve: missing -models directory")
 	}
-
-	svc := serve.NewService(serve.DirLoader(*modelsDir), serve.Options{
-		ModelCap:       *modelCap,
-		ResultCap:      *resultCap,
-		Workers:        *workers,
-		Float64Serving: *f64Serve,
-	})
-	var st *store.Store
-	if *dataDir != "" {
-		policy, err := store.ParseFsyncPolicy(*fsyncMode)
-		if err != nil {
-			return err
-		}
-		st, err = store.Open(*dataDir, store.Options{
-			Fsync:           policy,
-			CompactInterval: *compactEvery,
-		})
-		if err != nil {
-			return err
-		}
-		defer st.Close()
-		// Checkpointed model versions take priority over the base model
-		// files, so a restarted node serves the exact fine-tuned versions
-		// (and version numbers) it crashed with.
-		svc.Registry().SetVersionedLoader(serve.CheckpointLoader(serve.DirLoader(*modelsDir), st))
-		svc.AttachStore(st)
+	if *shards < 1 {
+		return fmt.Errorf("serve: -shards %d must be at least 1", *shards)
 	}
-	var ctl *lifecycle.Controller
-	if *observe {
-		cfg := lifecycle.Config{
-			MinSamples: *ftMinSamples,
-			Interval:   *ftInterval,
-			Workers:    *ftWorkers,
-			BufferCap:  *ftBuffer,
-			MaxKeys:    *ftMaxKeys,
+	sharded := *shards > 1
+
+	// label prefixes per-shard log lines; in a single-shard deployment
+	// it is empty so the output stays what it always was.
+	label := func(i int) string {
+		if !sharded {
+			return ""
 		}
-		if st != nil {
-			cfg.Log = st
-			cfg.Checkpoint = st
-		}
-		ctl = lifecycle.New(svc.Registry(), cfg)
-		ctl.OnSwap(func(key serve.ModelKey, version uint64) {
-			fmt.Printf("lifecycle: %s hot-swapped to v%d\n", key, version)
+		return fmt.Sprintf("shard %d: ", i)
+	}
+
+	// buildNode assembles one shard's stack without starting its
+	// background work; starting happens after the replication hooks are
+	// registered, so no install can slip past the broadcast.
+	buildNode := func(i int) (*shardRuntime, error) {
+		n := &shardRuntime{}
+		n.svc = serve.NewService(serve.DirLoader(*modelsDir), serve.Options{
+			ModelCap:       *modelCap,
+			ResultCap:      *resultCap,
+			Workers:        *workers,
+			Float64Serving: *f64Serve,
 		})
-		// AttachObserver also subscribes the result-cache invalidation,
-		// so memoized predictions never outlive a swapped model.
-		svc.AttachObserver(ctl)
-		if st != nil {
-			// Replay the durable history into the observation rings before
-			// accepting traffic: samples regain their freshness, digest
-			// markers suppress re-fine-tuning of already-checkpointed work.
-			err := st.Replay(store.ReplayHandler{
-				Observation: func(job, env string, s core.Sample, at time.Time) {
-					ctl.Restore(serve.ModelKey{Job: job, Env: env}, s, at)
-				},
-				Digest: func(job, env string, fresh int, at time.Time) {
-					ctl.RestoreDigest(serve.ModelKey{Job: job, Env: env})
-				},
+		dir := *dataDir
+		if dir != "" && sharded {
+			// Each shard owns a disjoint key range, so it gets a disjoint
+			// store: WALs never interleave and a shard replays exactly the
+			// observations of the models it serves.
+			dir = filepath.Join(dir, fmt.Sprintf("shard-%d", i))
+		}
+		if dir != "" {
+			policy, err := store.ParseFsyncPolicy(*fsyncMode)
+			if err != nil {
+				return nil, err
+			}
+			n.st, err = store.Open(dir, store.Options{
+				Fsync:           policy,
+				CompactInterval: *compactEvery,
 			})
 			if err != nil {
-				// A corrupt sealed segment stops replay at its clean
-				// prefix; serving continues on what was recovered.
-				fmt.Printf("store: replay stopped early: %v\n", err)
+				return nil, err
 			}
-			rs := st.StoreStats()
-			fmt.Printf("store: recovered %d observations and %d digests from %s (repaired %d torn bytes)\n",
-				rs.ReplayedObservations, rs.ReplayedDigests, *dataDir, rs.RepairedBytes)
+			// Checkpointed model versions take priority over the base model
+			// files, so a restarted node serves the exact fine-tuned versions
+			// (and version numbers) it crashed with.
+			n.svc.Registry().SetVersionedLoader(serve.CheckpointLoader(serve.DirLoader(*modelsDir), n.st))
+			n.svc.AttachStore(n.st)
 		}
-		ctl.Start()
-		defer ctl.Stop()
-		fmt.Printf("online fine-tuning on: every %v, %d fresh samples per model trigger a refresh\n",
-			*ftInterval, *ftMinSamples)
-	}
-	if st != nil {
-		st.Start()
-		fmt.Printf("durable store on: %s (fsync=%s, compaction every %v)\n", *dataDir, *fsyncMode, *compactEvery)
+		if *observe {
+			cfg := lifecycle.Config{
+				MinSamples: *ftMinSamples,
+				Interval:   *ftInterval,
+				Workers:    *ftWorkers,
+				BufferCap:  *ftBuffer,
+				MaxKeys:    *ftMaxKeys,
+			}
+			if n.st != nil {
+				cfg.Log = n.st
+				cfg.Checkpoint = n.st
+			}
+			n.ctl = lifecycle.New(n.svc.Registry(), cfg)
+			n.ctl.OnSwap(func(key serve.ModelKey, version uint64) {
+				fmt.Printf("%slifecycle: %s hot-swapped to v%d\n", label(i), key, version)
+			})
+			// AttachObserver also subscribes the result-cache invalidation,
+			// so memoized predictions never outlive a swapped model.
+			n.svc.AttachObserver(n.ctl)
+			if n.st != nil {
+				// Replay the durable history into the observation rings before
+				// accepting traffic: samples regain their freshness, digest
+				// markers suppress re-fine-tuning of already-checkpointed work.
+				err := n.st.Replay(store.ReplayHandler{
+					Observation: func(job, env string, s core.Sample, at time.Time) {
+						n.ctl.Restore(serve.ModelKey{Job: job, Env: env}, s, at)
+					},
+					Digest: func(job, env string, fresh int, at time.Time) {
+						n.ctl.RestoreDigest(serve.ModelKey{Job: job, Env: env})
+					},
+				})
+				if err != nil {
+					// A corrupt sealed segment stops replay at its clean
+					// prefix; serving continues on what was recovered.
+					fmt.Printf("%sstore: replay stopped early: %v\n", label(i), err)
+				}
+				rs := n.st.StoreStats()
+				fmt.Printf("%sstore: recovered %d observations and %d digests from %s (repaired %d torn bytes)\n",
+					label(i), rs.ReplayedObservations, rs.ReplayedDigests, dir, rs.RepairedBytes)
+			}
+		}
+		return n, nil
 	}
 
-	var lc serve.LoadControl
+	nodes := make([]*shardRuntime, *shards)
+	for i := range nodes {
+		n, err := buildNode(i)
+		if err != nil {
+			return err
+		}
+		nodes[i] = n
+		if n.st != nil {
+			defer n.st.Close()
+		}
+	}
+
+	var limiter *loadctl.Limiter
 	if *rate > 0 {
-		lc.Limiter = loadctl.NewLimiter(loadctl.LimiterConfig{
+		limiter = loadctl.NewLimiter(loadctl.LimiterConfig{
 			Rate:       *rate,
 			Burst:      *rateBurst,
 			MaxClients: *maxClients,
 		})
 	}
-	if *maxInFlight >= 0 {
-		lc.Gate = loadctl.NewGate(loadctl.GateConfig{
+	gateFor := func() *loadctl.Gate {
+		if *maxInFlight < 0 {
+			return nil
+		}
+		return loadctl.NewGate(loadctl.GateConfig{
 			MaxInFlight: *maxInFlight,
 			MaxQueue:    *maxQueue,
 			MaxWait:     *maxWait,
 		})
 	}
-	lc.MaxDeadline = *maxDeadline
-	if lc.Limiter != nil || lc.Gate != nil {
-		svc.AttachLoadControl(lc)
-		fmt.Printf("load control on: %g req/s per client, gate %d in flight / %d queued (heavy %d), shed after %v\n",
+
+	// Assemble the handler: a cluster router over the shards, or the
+	// plain single-instance surface (identical wire contract).
+	var handler http.Handler
+	var cluster *shard.Cluster
+	if sharded {
+		cfgs := make([]shard.NodeConfig, len(nodes))
+		for i, n := range nodes {
+			cfgs[i] = shard.NodeConfig{Service: n.svc, Gate: gateFor()}
+		}
+		var err error
+		cluster, err = shard.New(cfgs, shard.Options{
+			Limiter:     limiter,
+			MaxDeadline: *maxDeadline,
+		})
+		if err != nil {
+			return err
+		}
+		cluster.EnableReplication()
+		defer cluster.CloseReplication()
+		if *observe {
+			// A fine-tune installed on any shard is broadcast to every
+			// peer, so each shard answers from the latest generation no
+			// matter which shard's observations triggered the refresh.
+			for i, n := range nodes {
+				from := i
+				n.ctl.OnInstall(func(key serve.ModelKey, version uint64, blob []byte) {
+					cluster.Broadcast(from, key, version, blob)
+				})
+			}
+		}
+		handler = cluster.Handler()
+	} else {
+		lc := serve.LoadControl{
+			Limiter:     limiter,
+			Gate:        gateFor(),
+			MaxDeadline: *maxDeadline,
+		}
+		if lc.Limiter != nil || lc.Gate != nil {
+			nodes[0].svc.AttachLoadControl(lc)
+		}
+		handler = nodes[0].svc.Handler()
+	}
+	if limiter != nil || *maxInFlight >= 0 {
+		fmt.Printf("load control on: %g req/s per client, gate %d in flight / %d queued (heavy %d) per shard, shed after %v\n",
 			*rate, *maxInFlight, *maxQueue, max(*maxQueue/2, 1), *maxWait)
 	}
 
+	// Start the background machinery only after every hook is wired.
+	for i, n := range nodes {
+		if n.ctl != nil {
+			n.ctl.Start()
+			defer n.ctl.Stop()
+		}
+		if n.st != nil {
+			n.st.Start()
+			fmt.Printf("%sdurable store on (fsync=%s, compaction every %v)\n", label(i), *fsyncMode, *compactEvery)
+		}
+	}
+	if *observe {
+		fmt.Printf("online fine-tuning on: every %v, %d fresh samples per model trigger a refresh\n",
+			*ftInterval, *ftMinSamples)
+	}
+
 	srv := &http.Server{
-		Handler: svc.Handler(),
+		Handler: handler,
 		// Full-request read and write bounds (not just headers): a
 		// slow-loris client trickling its body, or one never draining the
 		// response, is cut off instead of pinning a connection forever.
@@ -169,8 +270,13 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving models from %s on %s\n", *modelsDir, ln.Addr())
-	fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /healthz")
+	if sharded {
+		fmt.Printf("serving models from %s on %s across %d shards\n", *modelsDir, ln.Addr(), *shards)
+		fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /v1/shards, GET /healthz")
+	} else {
+		fmt.Printf("serving models from %s on %s\n", *modelsDir, ln.Addr())
+		fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /healthz")
+	}
 	if testHookServeReady != nil {
 		testHookServeReady(ln.Addr().String())
 	}
@@ -189,7 +295,11 @@ func runServe(args []string) error {
 	case sig := <-sigc:
 		fmt.Printf("received %v: draining (timeout %v)\n", sig, *drainTimeout)
 	}
-	svc.SetDraining(true)
+	if cluster != nil {
+		cluster.SetDraining(true)
+	} else {
+		nodes[0].svc.SetDraining(true)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -200,16 +310,25 @@ func runServe(args []string) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Printf("drain: server error: %v\n", err)
 	}
-	if ctl != nil {
-		if n := ctl.Drain(); n > 0 {
-			fmt.Printf("drain: digested pending observations into %d model version(s)\n", n)
+	for i, n := range nodes {
+		if n.ctl != nil {
+			if nd := n.ctl.Drain(); nd > 0 {
+				fmt.Printf("drain: %sdigested pending observations into %d model version(s)\n", label(i), nd)
+			}
 		}
 	}
-	if st != nil {
-		if err := st.Close(); err != nil {
-			return fmt.Errorf("drain: closing store: %w", err)
+	if cluster != nil {
+		// Final fine-tunes above were broadcast; tear the mesh down
+		// before sealing so no replicator writes into a closing store.
+		cluster.CloseReplication()
+	}
+	for i, n := range nodes {
+		if n.st != nil {
+			if err := n.st.Close(); err != nil {
+				return fmt.Errorf("drain: closing %sstore: %w", label(i), err)
+			}
+			fmt.Printf("drain: %sstore sealed\n", label(i))
 		}
-		fmt.Println("drain: store sealed")
 	}
 	fmt.Println("drain: complete")
 	return nil

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/store"
@@ -64,10 +65,10 @@ func drainProps(sizeMB int) []encoding.Property {
 	}
 }
 
-func drainWire(scaleOut int) predictWire {
-	return predictWire{
+func drainWire(scaleOut int) api.PredictRequest {
+	return api.PredictRequest{
 		Job: "sort", Env: "c3o", ScaleOut: scaleOut,
-		Essential: []propertyWire{
+		Essential: []api.Property{
 			{Name: "dataset_size_mb", Value: "10000"},
 			{Name: "dataset_characteristics", Value: "uniform"},
 			{Name: "job_parameters", Value: "--iterations 100"},
@@ -155,9 +156,9 @@ func TestServeSIGTERMDrain(t *testing.T) {
 				} else if code == http.StatusOK {
 					okPredicts.Add(1)
 				}
-				ob, _ := json.Marshal(observeWire{
-					predictWire: drainWire(2 + (i % 6)),
-					RuntimeSec:  60 + float64(i%10),
+				ob, _ := json.Marshal(api.ObserveRequest{
+					PredictRequest: drainWire(2 + (i % 6)),
+					RuntimeSec:     60 + float64(i%10),
 				})
 				code, up := post("/v1/observe", ob)
 				if !up {
@@ -217,6 +218,134 @@ func TestServeSIGTERMDrain(t *testing.T) {
 	}
 	if digests == 0 {
 		t.Fatal("drain wrote no digest marker despite pending observations")
+	}
+}
+
+// TestServeShardedSmoke drives the real serve entrypoint in sharded
+// mode: -shards 2 must answer the identical /v1 wire contract, report
+// the cluster stats schema, expose the topology endpoint, keep each
+// shard's WAL in its own subdirectory, and drain cleanly on SIGTERM.
+func TestServeShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-signal end-to-end test")
+	}
+	root := t.TempDir()
+	modelsDir := filepath.Join(root, "models")
+	dataDir := filepath.Join(root, "data")
+	if err := os.MkdirAll(modelsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeTestModel(t, modelsDir)
+
+	ready := make(chan string, 1)
+	testHookServeReady = func(addr string) { ready <- addr }
+	defer func() { testHookServeReady = nil }()
+	served := make(chan error, 1)
+	go func() {
+		served <- runServe([]string{
+			"-models", modelsDir,
+			"-addr", "127.0.0.1:0",
+			"-shards", "2",
+			"-observe",
+			"-data-dir", dataDir,
+			"-fsync", "never",
+			"-rate-limit", "0",
+			"-drain-timeout", "10s",
+		})
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-served:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Predict answers the standard DTO through the router.
+	pb, _ := json.Marshal(drainWire(4))
+	resp, err := client.Post(base+"/v1/predict", "application/json", bytes.NewReader(pb))
+	if err != nil {
+		t.Fatalf("predict: %v", err)
+	}
+	var pr api.PredictResponse
+	err = json.NewDecoder(resp.Body).Decode(&pr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || pr.Error != nil || pr.RuntimeSec <= 0 {
+		t.Fatalf("predict status %d resp %+v (err %v)", resp.StatusCode, pr, err)
+	}
+
+	// Observes are accepted and routed to the key's owning shard.
+	ob, _ := json.Marshal(api.ObserveRequest{PredictRequest: drainWire(4), RuntimeSec: 61})
+	resp, err = client.Post(base+"/v1/observe", "application/json", bytes.NewReader(ob))
+	if err != nil {
+		t.Fatalf("observe: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		t.Fatalf("observe status %d", resp.StatusCode)
+	}
+
+	// Stats report the versioned cluster schema with one block per shard.
+	resp, err = client.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var st api.ClusterStats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.SchemaVersion != api.StatsSchemaVersion || len(st.Shards) != 2 {
+		t.Fatalf("cluster stats schema %d with %d shards, want %d/2", st.SchemaVersion, len(st.Shards), api.StatsSchemaVersion)
+	}
+	if st.Replication == nil {
+		t.Fatal("sharded serve reports no replication stats")
+	}
+
+	// The topology endpoint names both shards.
+	resp, err = client.Get(base + "/v1/shards")
+	if err != nil {
+		t.Fatalf("shards: %v", err)
+	}
+	var topo api.TopologyResponse
+	err = json.NewDecoder(resp.Body).Decode(&topo)
+	resp.Body.Close()
+	if err != nil || len(topo.Shards) != 2 {
+		t.Fatalf("topology %+v (err %v)", topo, err)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("runServe after SIGTERM = %v, want nil (clean drain)", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain within 30s of SIGTERM")
+	}
+
+	// Each shard sealed its own store subdirectory.
+	for i := 0; i < 2; i++ {
+		sub := filepath.Join(dataDir, "shard-"+strconv.Itoa(i))
+		if fi, err := os.Stat(sub); err != nil || !fi.IsDir() {
+			t.Fatalf("shard store %s missing after drain (err %v)", sub, err)
+		}
+		sst, err := store.Open(sub, store.Options{Fsync: store.FsyncNever})
+		if err != nil {
+			t.Fatalf("reopening %s: %v", sub, err)
+		}
+		if rb := sst.StoreStats().RepairedBytes; rb != 0 {
+			sst.Close()
+			t.Fatalf("shard %d reopened with %d repaired bytes, want 0 after a drained shutdown", i, rb)
+		}
+		sst.Close()
 	}
 }
 

@@ -12,6 +12,17 @@
 //	go test -run '^$' -bench 'BenchmarkPredictBatchWarm$' -benchtime 100x ./internal/serve/ > serve.txt
 //	go run ./internal/ci/benchgate -baseline BENCH_train.json -baseline BENCH_serve.json \
 //	    -require BenchmarkPretrain -require BenchmarkPredictBatchWarm train.txt serve.txt
+//
+// Relative assertions with -speedup compare two benchmarks of the SAME
+// measured output instead of a recorded baseline, which makes them
+// hardware-independent — the shard scaling gate asserts that the
+// 2-shard and 4-shard router runs beat the 1-shard run by a floor
+// ratio, whatever the runner's absolute speed:
+//
+//	go test -run '^$' -bench BenchmarkShardPredict ./internal/shard/ > shard.txt
+//	go run ./internal/ci/benchgate \
+//	    -speedup 'BenchmarkShardPredict/shards=1:BenchmarkShardPredict/shards=2:1.7' \
+//	    -speedup 'BenchmarkShardPredict/shards=1:BenchmarkShardPredict/shards=4:3.0' shard.txt
 package main
 
 import (
@@ -36,14 +47,16 @@ type benchRecord struct {
 }
 
 // benchFile covers BENCH_train.json ("train" and "mat" arrays),
-// BENCH_serve.json ("serve" and "store" arrays), and BENCH_http.json
-// ("http" array: the HTTP serving tier under load control).
+// BENCH_serve.json ("serve" and "store" arrays), BENCH_http.json
+// ("http" array: the HTTP serving tier under load control), and
+// BENCH_shard.json ("shard" array: the sharded router's scaling curve).
 type benchFile struct {
 	Train []benchRecord `json:"train"`
 	Serve []benchRecord `json:"serve"`
 	Store []benchRecord `json:"store"`
 	Mat   []benchRecord `json:"mat"`
 	Http  []benchRecord `json:"http"`
+	Shard []benchRecord `json:"shard"`
 }
 
 // loadBaselines maps benchmark name -> recorded ns/op across files.
@@ -58,7 +71,7 @@ func loadBaselines(paths []string) (map[string]float64, error) {
 		if err := json.Unmarshal(b, &f); err != nil {
 			return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
 		}
-		for _, rec := range append(append(append(append(f.Train, f.Serve...), f.Store...), f.Mat...), f.Http...) {
+		for _, rec := range append(append(append(append(append(f.Train, f.Serve...), f.Store...), f.Mat...), f.Http...), f.Shard...) {
 			if rec.Name != "" && rec.After.NsPerOp > 0 {
 				out[rec.Name] = rec.After.NsPerOp
 			}
@@ -120,6 +133,53 @@ func gate(measured, baselines map[string]float64, required []string, maxRatio fl
 	return checked, failures
 }
 
+// speedupSpec is one -speedup assertion: the measured run of Target
+// must be at least MinRatio times faster (lower ns/op) than the
+// measured run of Base. Both come from the same CI output, so the
+// assertion is hardware-independent — exactly what a scaling claim
+// ("2 shards are >= 1.7x one shard") needs on runners of unknown speed.
+type speedupSpec struct {
+	Base, Target string
+	MinRatio     float64
+}
+
+// parseSpeedup parses "BenchBase:BenchTarget:minRatio".
+func parseSpeedup(s string) (speedupSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return speedupSpec{}, fmt.Errorf("speedup %q must be base:target:minRatio", s)
+	}
+	ratio, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || ratio <= 0 {
+		return speedupSpec{}, fmt.Errorf("speedup %q: bad ratio %q", s, parts[2])
+	}
+	return speedupSpec{Base: parts[0], Target: parts[1], MinRatio: ratio}, nil
+}
+
+// gateSpeedups checks the relative-throughput assertions against one
+// measured output set.
+func gateSpeedups(measured map[string]float64, specs []speedupSpec) (checked []string, failures []string) {
+	for _, sp := range specs {
+		base, ok := measured[sp.Base]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: speedup base missing from measured output", sp.Base))
+			continue
+		}
+		target, ok := measured[sp.Target]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: speedup target missing from measured output", sp.Target))
+			continue
+		}
+		ratio := base / target
+		line := fmt.Sprintf("%s vs %s: %.2fx speedup (floor %.2fx)", sp.Target, sp.Base, ratio, sp.MinRatio)
+		checked = append(checked, line)
+		if ratio < sp.MinRatio {
+			failures = append(failures, line)
+		}
+	}
+	return checked, failures
+}
+
 // multiFlag collects repeated string flags.
 type multiFlag []string
 
@@ -127,14 +187,25 @@ func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
-	var baselinePaths, required multiFlag
+	var baselinePaths, required, speedups multiFlag
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when measured ns/op exceeds baseline by this factor")
 	flag.Var(&baselinePaths, "baseline", "BENCH_*.json baseline file (repeatable)")
 	flag.Var(&required, "require", "benchmark name that must be present and within bounds (repeatable)")
+	flag.Var(&speedups, "speedup", "base:target:minRatio — measured target must be minRatio times faster than measured base (repeatable)")
 	flag.Parse()
-	if len(baselinePaths) == 0 || len(required) == 0 || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline BENCH.json -require BenchmarkName [-max-ratio 2.0] benchout.txt...")
+	if (len(required) > 0 && len(baselinePaths) == 0) ||
+		(len(required) == 0 && len(speedups) == 0) || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-baseline BENCH.json -require BenchmarkName] [-speedup base:target:minRatio] [-max-ratio 2.0] benchout.txt...")
 		os.Exit(2)
+	}
+	var specs []speedupSpec
+	for _, s := range speedups {
+		sp, err := parseSpeedup(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		specs = append(specs, sp)
 	}
 
 	baselines, err := loadBaselines(baselinePaths)
@@ -163,6 +234,9 @@ func main() {
 	}
 
 	checked, failures := gate(measured, baselines, required, *maxRatio)
+	spChecked, spFailures := gateSpeedups(measured, specs)
+	checked = append(checked, spChecked...)
+	failures = append(failures, spFailures...)
 	for _, line := range checked {
 		fmt.Println("ok:", line)
 	}

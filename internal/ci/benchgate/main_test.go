@@ -66,14 +66,82 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestParseSpeedup(t *testing.T) {
+	sp, err := parseSpeedup("BenchmarkShardPredict/shards=1:BenchmarkShardPredict/shards=2:1.7")
+	if err != nil {
+		t.Fatalf("parseSpeedup: %v", err)
+	}
+	if sp.Base != "BenchmarkShardPredict/shards=1" || sp.Target != "BenchmarkShardPredict/shards=2" || sp.MinRatio != 1.7 {
+		t.Fatalf("parseSpeedup = %+v, want base/target/1.7", sp)
+	}
+
+	for _, bad := range []string{
+		"",               // empty
+		"a:b",            // missing ratio
+		"a:b:c:d",        // too many parts
+		"a:b:notanumber", // unparseable ratio
+		"a:b:0",          // ratio must be positive
+		"a:b:-1.5",       // negative ratio
+	} {
+		if _, err := parseSpeedup(bad); err == nil {
+			t.Fatalf("parseSpeedup(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestGateSpeedups(t *testing.T) {
+	measured := map[string]float64{
+		"BenchmarkShardPredict/shards=1": 10_000_000,
+		"BenchmarkShardPredict/shards=2": 5_000_000,
+		"BenchmarkShardPredict/shards=4": 4_000_000,
+	}
+
+	// 2.00x against a 1.7x floor passes; 2.50x against a 3.0x floor fails.
+	checked, failures := gateSpeedups(measured, []speedupSpec{
+		{Base: "BenchmarkShardPredict/shards=1", Target: "BenchmarkShardPredict/shards=2", MinRatio: 1.7},
+		{Base: "BenchmarkShardPredict/shards=1", Target: "BenchmarkShardPredict/shards=4", MinRatio: 3.0},
+	})
+	if len(checked) != 2 {
+		t.Fatalf("checked %d speedups, want 2: %v", len(checked), checked)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "shards=4") {
+		t.Fatalf("failures = %v, want exactly the below-floor shards=4 speedup", failures)
+	}
+	if !strings.Contains(failures[0], "2.50x speedup (floor 3.00x)") {
+		t.Fatalf("failure line = %q, want measured ratio and floor spelled out", failures[0])
+	}
+
+	// Exactly at the floor passes.
+	_, failures = gateSpeedups(measured, []speedupSpec{
+		{Base: "BenchmarkShardPredict/shards=1", Target: "BenchmarkShardPredict/shards=2", MinRatio: 2.0},
+	})
+	if len(failures) != 0 {
+		t.Fatalf("at-floor speedup failed: %v", failures)
+	}
+
+	// A missing base or target fails loudly instead of passing vacuously.
+	_, failures = gateSpeedups(measured, []speedupSpec{
+		{Base: "BenchmarkMissing", Target: "BenchmarkShardPredict/shards=2", MinRatio: 1.5},
+		{Base: "BenchmarkShardPredict/shards=1", Target: "BenchmarkAlsoMissing", MinRatio: 1.5},
+	})
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want one per missing name", failures)
+	}
+	for _, f := range failures {
+		if !strings.Contains(f, "missing from measured output") {
+			t.Fatalf("failure %q does not name the missing benchmark", f)
+		}
+	}
+}
+
 func TestLoadBaselines(t *testing.T) {
 	// The real repo files are the fixtures: the gate must find the two
 	// benchmarks CI requires in them.
-	m, err := loadBaselines([]string{"../../../BENCH_train.json", "../../../BENCH_serve.json"})
+	m, err := loadBaselines([]string{"../../../BENCH_train.json", "../../../BENCH_serve.json", "../../../BENCH_shard.json"})
 	if err != nil {
 		t.Fatalf("loadBaselines: %v", err)
 	}
-	for _, name := range []string{"BenchmarkPretrain", "BenchmarkPredictBatchWarm"} {
+	for _, name := range []string{"BenchmarkPretrain", "BenchmarkPredictBatchWarm", "BenchmarkShardPredict/shards=1"} {
 		if m[name] <= 0 {
 			t.Fatalf("baseline for %s = %v, want > 0", name, m[name])
 		}

@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// HTTPTargetConfig describes one benchmark target: a running /v1
+// surface (single serve instance or sharded router — the wire contract
+// is identical) and the request mix to offer it.
+type HTTPTargetConfig struct {
+	// BaseURL of the server, e.g. http://localhost:8080. A trailing
+	// slash is tolerated.
+	BaseURL string
+	// Client issues the requests (nil: a default client with a generous
+	// idle-connection pool).
+	Client *http.Client
+
+	// Job and Env name the target model.
+	Job, Env string
+	// ScaleOuts are cycled across predict/observe requests; more
+	// distinct values lower the server's result-cache hit ratio.
+	ScaleOuts []int
+	// Essential and Optional describe the job context, in model order.
+	Essential, Optional []api.Property
+
+	// PredictPct and ObservePct set the request mix out of 100; the
+	// remainder allocates. PredictPct+ObservePct must fit in 100.
+	PredictPct, ObservePct int
+	// ObserveRuntimeSec is the runtime reported by observe requests.
+	ObserveRuntimeSec float64
+
+	// DeadlineMS, when positive, sets the X-Deadline-Ms budget header
+	// on every request.
+	DeadlineMS int
+	// APIKeys, when positive, spreads requests across this many
+	// X-API-Key identities so per-client rate limits can be exercised.
+	APIKeys int
+}
+
+// HTTPTarget issues the weighted predict/observe/allocate mix of one
+// benchmark run against a /v1 server. Request bodies are the canonical
+// api DTOs, marshaled once at construction; Issue only picks one per
+// sequence number and classifies the response status.
+type HTTPTarget struct {
+	cfg         HTTPTargetConfig
+	client      *http.Client
+	baseURL     string
+	observeCut  int
+	predictReqs [][]byte
+	observeReqs [][]byte
+	allocateReq []byte
+}
+
+// NewHTTPTarget validates cfg and pre-marshals one request body per
+// scale-out for each endpoint in the mix.
+func NewHTTPTarget(cfg HTTPTargetConfig) (*HTTPTarget, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: missing base URL")
+	}
+	if cfg.Job == "" {
+		return nil, fmt.Errorf("loadgen: missing job")
+	}
+	if len(cfg.ScaleOuts) == 0 {
+		return nil, fmt.Errorf("loadgen: missing scale-outs")
+	}
+	if cfg.PredictPct < 0 || cfg.ObservePct < 0 || cfg.PredictPct+cfg.ObservePct > 100 {
+		return nil, fmt.Errorf("loadgen: predict %d%% + observe %d%% must fit in 100",
+			cfg.PredictPct, cfg.ObservePct)
+	}
+	t := &HTTPTarget{
+		cfg:        cfg,
+		client:     cfg.Client,
+		baseURL:    strings.TrimRight(cfg.BaseURL, "/"),
+		observeCut: cfg.PredictPct + cfg.ObservePct,
+	}
+	if t.client == nil {
+		t.client = &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        4096,
+				MaxIdleConnsPerHost: 4096,
+			},
+		}
+	}
+	minX, maxX := cfg.ScaleOuts[0], cfg.ScaleOuts[0]
+	for _, x := range cfg.ScaleOuts {
+		minX, maxX = min(minX, x), max(maxX, x)
+		pr := api.PredictRequest{
+			Job: cfg.Job, Env: cfg.Env, ScaleOut: x,
+			Essential: cfg.Essential, Optional: cfg.Optional,
+		}
+		p, err := json.Marshal(pr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshaling predict body: %w", err)
+		}
+		t.predictReqs = append(t.predictReqs, p)
+		o, err := json.Marshal(api.ObserveRequest{
+			PredictRequest: pr,
+			RuntimeSec:     cfg.ObserveRuntimeSec,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshaling observe body: %w", err)
+		}
+		t.observeReqs = append(t.observeReqs, o)
+	}
+	var err error
+	t.allocateReq, err = json.Marshal(api.AllocateRequest{
+		Job: cfg.Job, Env: cfg.Env,
+		Essential: cfg.Essential, Optional: cfg.Optional,
+		MinScaleOut: minX, MaxScaleOut: maxX,
+		DeadlineSec: 1e6, CostPerNodeHour: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: marshaling allocate body: %w", err)
+	}
+	return t, nil
+}
+
+// Issue sends the request for one arrival and classifies its outcome.
+// It is safe for concurrent calls and is the op handed to Run.
+func (t *HTTPTarget) Issue(seq int) Outcome {
+	var path string
+	var body []byte
+	switch m := seq % 100; {
+	case m < t.cfg.PredictPct:
+		path, body = "/v1/predict", t.predictReqs[seq%len(t.predictReqs)]
+	case m < t.observeCut:
+		path, body = "/v1/observe", t.observeReqs[seq%len(t.observeReqs)]
+	default:
+		path, body = "/v1/allocate", t.allocateReq
+	}
+	req, err := http.NewRequest(http.MethodPost, t.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return OutcomeError
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if t.cfg.DeadlineMS > 0 {
+		req.Header.Set(api.DeadlineHeader, strconv.Itoa(t.cfg.DeadlineMS))
+	}
+	if t.cfg.APIKeys > 0 {
+		req.Header.Set(api.ClientKeyHeader, "bench-"+strconv.Itoa(seq%t.cfg.APIKeys))
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return OutcomeError
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return OutcomeOK
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return OutcomeRateLimited
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return OutcomeShed
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return OutcomeDeadline
+	default:
+		return OutcomeError
+	}
+}

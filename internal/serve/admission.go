@@ -3,12 +3,12 @@ package serve
 import (
 	"context"
 	"errors"
-	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/loadctl"
 )
 
@@ -29,11 +29,12 @@ var (
 	errOverloaded  = errors.New("serve: server overloaded, retry later")
 )
 
-// clientKey identifies the requester for rate limiting: the API key
+// ClientKey identifies the requester for rate limiting: the API key
 // header when present, else the host part of the remote address (so
 // all connections from one host share a bucket regardless of port).
-// Substring-only — no allocation on the admit path.
-func clientKey(r *http.Request) string {
+// Substring-only — no allocation on the admit path. The shard router
+// shares it so a client is one bucket regardless of topology.
+func ClientKey(r *http.Request) string {
 	if k := r.Header.Get(ClientKeyHeader); k != "" {
 		return k
 	}
@@ -53,17 +54,12 @@ func (s *Service) rateLimit(w http.ResponseWriter, r *http.Request) bool {
 	if lc == nil || lc.Limiter == nil {
 		return true
 	}
-	ok, retryAfter := lc.Limiter.Allow(clientKey(r), time.Now())
+	ok, retryAfter := lc.Limiter.Allow(ClientKey(r), time.Now())
 	if ok {
 		return true
 	}
-	// Ceil to whole seconds: Retry-After of 0 would mean "now".
-	secs := int64((retryAfter + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-	httpError(w, http.StatusTooManyRequests, errRateLimited)
+	api.WriteError(w, http.StatusTooManyRequests,
+		api.Errorf(api.CodeRateLimited, "%v", errRateLimited).WithRetryAfter(retryAfter))
 	return false
 }
 
@@ -79,26 +75,26 @@ func (s *Service) admit(ctx context.Context, w http.ResponseWriter, cost loadctl
 	}
 	if err := lc.Gate.Acquire(ctx, cost); err != nil {
 		if errors.Is(err, loadctl.ErrOverloaded) {
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, errOverloaded)
+			api.WriteError(w, http.StatusServiceUnavailable,
+				api.Errorf(api.CodeOverloaded, "%v", errOverloaded).WithRetryAfter(time.Second))
 		} else {
 			// Context ended while queued: the client is gone or out of
 			// budget; 504 documents the abandoned wait.
 			s.deadlineRejects.Add(1)
-			httpError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: request abandoned while queued: %w", err))
+			api.WriteError(w, http.StatusGatewayTimeout,
+				api.Errorf(api.CodeDeadlineExceeded, "serve: request abandoned while queued: %v", err))
 		}
 		return nil, false
 	}
 	return lc.Gate.Release, true
 }
 
-// requestContext derives the handler context from the client's
-// deadline budget header. Absent (or unparseable) headers fall back to
-// the request's own context; a present budget is capped at the
-// configured MaxDeadline so a client cannot pin server resources with
-// an hour-long deadline.
-func (s *Service) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
-	lc := s.loadctl.Load()
+// RequestContext derives a handler context from the client's deadline
+// budget header. Absent (or unparseable) headers fall back to the
+// request's own context; a present budget is capped at maxDeadline
+// (<= 0 selects DefaultMaxDeadline) so a client cannot pin server
+// resources with an hour-long deadline.
+func RequestContext(r *http.Request, maxDeadline time.Duration) (context.Context, context.CancelFunc) {
 	h := r.Header.Get(DeadlineHeader)
 	if h == "" {
 		return r.Context(), func() {}
@@ -108,25 +104,36 @@ func (s *Service) requestContext(r *http.Request) (context.Context, context.Canc
 		return r.Context(), func() {}
 	}
 	budget := time.Duration(ms) * time.Millisecond
-	maxD := DefaultMaxDeadline
-	if lc != nil && lc.MaxDeadline > 0 {
-		maxD = lc.MaxDeadline
+	if maxDeadline <= 0 {
+		maxDeadline = DefaultMaxDeadline
 	}
-	if budget > maxD {
-		budget = maxD
+	if budget > maxDeadline {
+		budget = maxDeadline
 	}
 	return context.WithTimeout(r.Context(), budget)
 }
 
-// isDeadline reports whether err is a context expiry (server-side
+// requestContext is RequestContext with the service's configured cap.
+func (s *Service) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	var maxD time.Duration
+	if lc := s.loadctl.Load(); lc != nil {
+		maxD = lc.MaxDeadline
+	}
+	return RequestContext(r, maxD)
+}
+
+// IsDeadline reports whether err is a context expiry (server-side
 // deadline or client disconnect), which the HTTP layer answers 504.
-func isDeadline(err error) bool {
+func IsDeadline(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
 }
+
+func isDeadline(err error) bool { return IsDeadline(err) }
 
 // writeDeadlineError answers a request whose budget ran out and counts
 // it.
 func (s *Service) writeDeadlineError(w http.ResponseWriter, err error) {
 	s.deadlineRejects.Add(1)
-	httpError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: deadline exceeded: %w", err))
+	api.WriteError(w, http.StatusGatewayTimeout,
+		api.Errorf(api.CodeDeadlineExceeded, "serve: deadline exceeded: %v", err))
 }

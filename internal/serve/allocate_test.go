@@ -7,12 +7,13 @@ import (
 	"testing"
 
 	"repro/internal/allocate"
+	"repro/internal/api"
 	"repro/internal/baselines"
 )
 
-func wireAllocateRequest(deadline float64) allocateRequestJSON {
+func wireAllocateRequest(deadline float64) api.AllocateRequest {
 	pr := wireRequest(4, 10000)
-	return allocateRequestJSON{
+	return api.AllocateRequest{
 		Job:             pr.Job,
 		Env:             pr.Env,
 		Essential:       pr.Essential,
@@ -30,12 +31,12 @@ func wireAllocateRequest(deadline float64) allocateRequestJSON {
 func TestHTTPAllocate(t *testing.T) {
 	srv, svc := newTestServer(t)
 
-	var out allocateResponseJSON
+	var out api.AllocateResponse
 	code := postJSON(t, srv.URL+"/v1/allocate", wireAllocateRequest(200), &out)
 	if code != http.StatusOK {
 		t.Fatalf("status %d, want 200", code)
 	}
-	if out.Error != "" || !out.Feasible {
+	if out.Error != nil || !out.Feasible {
 		t.Fatalf("response = %+v, want a feasible allocation", out)
 	}
 	if out.ScaleOut < 2 || out.ScaleOut > 16 {
@@ -82,12 +83,12 @@ func TestHTTPAllocate(t *testing.T) {
 func TestHTTPAllocateImpossibleDeadline(t *testing.T) {
 	srv, svc := newTestServer(t)
 
-	var out allocateResponseJSON
+	var out api.AllocateResponse
 	code := postJSON(t, srv.URL+"/v1/allocate", wireAllocateRequest(0.01), &out)
 	if code != http.StatusOK {
 		t.Fatalf("status %d, want 200 (violation is a result, not an error)", code)
 	}
-	if out.Error != "" || out.Feasible {
+	if out.Error != nil || out.Feasible {
 		t.Fatalf("response = %+v, want an infeasible best-effort result", out)
 	}
 	if out.ScaleOut == 0 {
@@ -115,7 +116,7 @@ func TestHTTPAllocateBadRequest(t *testing.T) {
 
 	missing := wireAllocateRequest(100)
 	missing.Job = ""
-	var out allocateResponseJSON
+	var out api.AllocateResponse
 	if code := postJSON(t, srv.URL+"/v1/allocate", missing, &out); code != http.StatusBadRequest {
 		t.Fatalf("missing job: status %d, want 400", code)
 	}
@@ -125,7 +126,7 @@ func TestHTTPAllocateBadRequest(t *testing.T) {
 	if code := postJSON(t, srv.URL+"/v1/allocate", bad, &out); code != http.StatusBadRequest {
 		t.Fatalf("negative deadline: status %d, want 400", code)
 	}
-	if out.Error == "" {
+	if out.Error == nil {
 		t.Fatal("bad request carried no error message")
 	}
 
@@ -150,11 +151,11 @@ func TestHTTPAllocateModelUnavailable(t *testing.T) {
 	srv := httptest.NewServer(svc.Handler())
 	t.Cleanup(srv.Close)
 
-	var out allocateResponseJSON
+	var out api.AllocateResponse
 	if code := postJSON(t, srv.URL+"/v1/allocate", wireAllocateRequest(100), &out); code != http.StatusNotFound {
 		t.Fatalf("unloadable model: status %d, want 404", code)
 	}
-	if out.Error == "" {
+	if out.Error == nil {
 		t.Fatal("unloadable model carried no error message")
 	}
 	if st := svc.Stats(); st.Alloc.Errors != 1 {

@@ -5,189 +5,25 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/allocate"
+	"repro/internal/api"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/loadctl"
 )
 
-// propertyJSON is the wire form of one descriptive property.
-type propertyJSON struct {
-	Name  string `json:"name"`
-	Value string `json:"value"`
-}
+// The wire DTOs of the /v1 surface live in internal/api — this file
+// only converts between them and the serving layer's native types and
+// wires the routes. The shard router reuses the exported converters,
+// so both the single-process and sharded handlers speak byte-identical
+// JSON.
 
-// predictRequestJSON is the wire form of one prediction request.
-type predictRequestJSON struct {
-	Job       string         `json:"job"`
-	Env       string         `json:"env"`
-	ScaleOut  int            `json:"scale_out"`
-	Essential []propertyJSON `json:"essential"`
-	Optional  []propertyJSON `json:"optional,omitempty"`
-}
-
-// predictResponseJSON is the wire form of one prediction result.
-type predictResponseJSON struct {
-	RuntimeSec float64 `json:"runtime_sec,omitempty"`
-	Cached     bool    `json:"cached,omitempty"`
-	Error      string  `json:"error,omitempty"`
-}
-
-// observeRequestJSON is the wire form of one runtime observation: a
-// prediction request plus the runtime actually measured for it.
-type observeRequestJSON struct {
-	predictRequestJSON
-	RuntimeSec float64 `json:"runtime_sec"`
-}
-
-// observeResponseJSON is the wire form of POST /v1/observe.
-type observeResponseJSON struct {
-	Accepted bool   `json:"accepted"`
-	Error    string `json:"error,omitempty"`
-}
-
-// observationPointJSON is the wire form of one measured
-// (scale-out, runtime) point feeding the allocation fallback.
-type observationPointJSON struct {
-	ScaleOut   int     `json:"scale_out"`
-	RuntimeSec float64 `json:"runtime_sec"`
-}
-
-// allocateRequestJSON is the wire form of POST /v1/allocate.
-type allocateRequestJSON struct {
-	Job       string         `json:"job"`
-	Env       string         `json:"env"`
-	Essential []propertyJSON `json:"essential"`
-	Optional  []propertyJSON `json:"optional,omitempty"`
-
-	MinScaleOut int   `json:"min_scale_out"`
-	MaxScaleOut int   `json:"max_scale_out"`
-	Step        int   `json:"step,omitempty"`
-	Candidates  []int `json:"candidates,omitempty"`
-
-	DeadlineSec     float64 `json:"deadline_sec"`
-	CostPerNodeHour float64 `json:"cost_per_node_hour"`
-	SafetyMargin    float64 `json:"safety_margin,omitempty"`
-
-	MinModelSamples int                    `json:"min_model_samples,omitempty"`
-	Observations    []observationPointJSON `json:"observations,omitempty"`
-}
-
-// curvePointJSON is the wire form of one annotated sweep candidate.
-type curvePointJSON struct {
-	ScaleOut     int     `json:"scale_out"`
-	PredictedSec float64 `json:"predicted_sec"`
-	SmoothedSec  float64 `json:"smoothed_sec"`
-	Cost         float64 `json:"cost"`
-	MeetsSLO     bool    `json:"meets_slo"`
-}
-
-// allocateResponseJSON is the wire form of one allocation decision.
-type allocateResponseJSON struct {
-	ScaleOut     int              `json:"scale_out,omitempty"`
-	PredictedSec float64          `json:"predicted_sec,omitempty"`
-	Cost         float64          `json:"cost,omitempty"`
-	Feasible     bool             `json:"feasible"`
-	Fallback     bool             `json:"fallback,omitempty"`
-	LowSupport   bool             `json:"low_support,omitempty"`
-	Source       string           `json:"source,omitempty"`
-	MarginSec    float64          `json:"margin_sec,omitempty"`
-	MarginFrac   float64          `json:"margin_frac,omitempty"`
-	Curve        []curvePointJSON `json:"curve,omitempty"`
-	Error        string           `json:"error,omitempty"`
-}
-
-// batchRequestJSON wraps the requests of POST /v1/predict/batch.
-type batchRequestJSON struct {
-	Requests []predictRequestJSON `json:"requests"`
-}
-
-// batchResponseJSON wraps the results of POST /v1/predict/batch.
-type batchResponseJSON struct {
-	Responses []predictResponseJSON `json:"responses"`
-}
-
-// statsJSON is the wire form of GET /v1/stats.
-type statsJSON struct {
-	Requests        int64          `json:"requests"`
-	Calls           int64          `json:"calls"`
-	ResultHits      int64          `json:"result_hits"`
-	ResultMisses    int64          `json:"result_misses"`
-	ResultCacheLen  int            `json:"result_cache_len"`
-	MeanLatencyUsec float64        `json:"mean_latency_usec"`
-	ModelHits       int64          `json:"model_hits"`
-	ModelMisses     int64          `json:"model_misses"`
-	ModelLoads      int64          `json:"model_loads"`
-	ModelLoadErrors int64          `json:"model_load_errors"`
-	ModelEvictions  int64          `json:"model_evictions"`
-	ModelSwaps      int64          `json:"model_swaps,omitempty"`
-	Alloc           allocStatsJSON `json:"alloc"`
-	Lifecycle       *lifecycleJSON `json:"lifecycle,omitempty"`
-	Store           *storeJSON     `json:"store,omitempty"`
-	LoadCtl         *loadctlJSON   `json:"loadctl,omitempty"`
-}
-
-// loadctlJSON is the wire form of the overload-protection counters.
-type loadctlJSON struct {
-	RateLimited       int64   `json:"rate_limited"`
-	Clients           int     `json:"clients"`
-	ClientsEvicted    int64   `json:"clients_evicted,omitempty"`
-	Admitted          int64   `json:"admitted"`
-	Queued            int64   `json:"queued"`
-	ShedQueueFull     int64   `json:"shed_queue_full"`
-	ShedTimeout       int64   `json:"shed_timeout"`
-	ShedCanceled      int64   `json:"shed_canceled"`
-	GateBypassed      int64   `json:"gate_bypassed"`
-	DeadlineRejects   int64   `json:"deadline_rejects"`
-	MeanQueueWaitUsec float64 `json:"mean_queue_wait_usec"`
-	Draining          bool    `json:"draining,omitempty"`
-}
-
-// allocStatsJSON is the wire form of the allocation counters.
-type allocStatsJSON struct {
-	Requests        int64   `json:"requests"`
-	Errors          int64   `json:"errors"`
-	Violations      int64   `json:"violations"`
-	Fallbacks       int64   `json:"fallbacks"`
-	MeanLatencyUsec float64 `json:"mean_latency_usec"`
-}
-
-// lifecycleJSON is the wire form of the online-learning counters.
-type lifecycleJSON struct {
-	Observations     int64   `json:"observations"`
-	Rejected         int64   `json:"rejected"`
-	PendingSamples   int     `json:"pending_samples"`
-	Finetunes        int64   `json:"finetunes"`
-	FinetuneErrors   int64   `json:"finetune_errors"`
-	Swaps            int64   `json:"swaps"`
-	SwapsSkipped     int64   `json:"swaps_skipped"`
-	MeanFinetuneUsec float64 `json:"mean_finetune_usec"`
-	Restored         int64   `json:"restored,omitempty"`
-	LogErrors        int64   `json:"log_errors,omitempty"`
-}
-
-// storeJSON is the wire form of the durable-store counters.
-type storeJSON struct {
-	WALAppends           int64  `json:"wal_appends"`
-	WALAppendedBytes     int64  `json:"wal_appended_bytes"`
-	WALSegments          int    `json:"wal_segments"`
-	WALActiveSeq         uint64 `json:"wal_active_seq"`
-	Fsyncs               int64  `json:"fsyncs"`
-	RepairedBytes        int64  `json:"repaired_bytes,omitempty"`
-	ReplayedObservations int64  `json:"replayed_observations"`
-	ReplayedDigests      int64  `json:"replayed_digests"`
-	CorruptSegments      int64  `json:"corrupt_segments,omitempty"`
-	Compactions          int64  `json:"compactions"`
-	CompactedRecords     int64  `json:"compacted_records"`
-	CompactSegments      int    `json:"compact_segments"`
-	Checkpoints          int64  `json:"checkpoints"`
-	CheckpointErrors     int64  `json:"checkpoint_errors,omitempty"`
-	CheckpointLoads      int64  `json:"checkpoint_loads"`
-}
-
-func toRequest(in predictRequestJSON) (Request, error) {
+// ToRequest converts the wire form of a prediction request into the
+// service's native form, validating required fields.
+func ToRequest(in api.PredictRequest) (Request, error) {
 	if in.Job == "" {
 		return Request{}, fmt.Errorf("serve: request missing job")
 	}
@@ -201,14 +37,38 @@ func toRequest(in predictRequestJSON) (Request, error) {
 	return Request{Key: ModelKey{Job: in.Job, Env: in.Env}, Query: q}, nil
 }
 
-func toResponseJSON(r Response) predictResponseJSON {
+// ToAPIResponse converts a service response to its wire form, mapping
+// any error to the typed envelope payload.
+func ToAPIResponse(r Response) api.PredictResponse {
 	if r.Err != nil {
-		return predictResponseJSON{Error: r.Err.Error()}
+		return api.PredictResponse{Error: ToAPIError(r.Err)}
 	}
-	return predictResponseJSON{RuntimeSec: r.RuntimeSec, Cached: r.Cached}
+	return api.PredictResponse{RuntimeSec: r.RuntimeSec, Cached: r.Cached}
 }
 
-func toAllocateRequest(in allocateRequestJSON) (ModelKey, allocate.Request, error) {
+// ToAPIError maps a serving-layer error to the unified typed error. An
+// error that already is an *api.Error (a shard router forwarding a
+// peer's typed answer) passes through unchanged.
+func ToAPIError(err error) *api.Error {
+	var typed *api.Error
+	switch {
+	case errors.As(err, &typed):
+		return typed
+	case isDeadline(err):
+		return api.Errorf(api.CodeDeadlineExceeded, "serve: deadline exceeded: %v", err)
+	case errors.Is(err, ErrModelUnavailable):
+		return api.Errorf(api.CodeModelNotFound, "%v", err)
+	case errors.Is(err, ErrObserveDisabled):
+		return api.Errorf(api.CodeObserveDisabled, "%v", err)
+	case errors.Is(err, ErrObserveCapacity):
+		return api.Errorf(api.CodeObserveCapacity, "%v", err)
+	default:
+		return api.Errorf(api.CodeBadRequest, "%v", err)
+	}
+}
+
+// ToAllocateRequest converts the wire form of an allocation request.
+func ToAllocateRequest(in api.AllocateRequest) (ModelKey, allocate.Request, error) {
 	if in.Job == "" {
 		return ModelKey{}, allocate.Request{}, fmt.Errorf("serve: request missing job")
 	}
@@ -234,8 +94,9 @@ func toAllocateRequest(in allocateRequestJSON) (ModelKey, allocate.Request, erro
 	return ModelKey{Job: in.Job, Env: in.Env}, req, nil
 }
 
-func toAllocateResponseJSON(res *allocate.Result) allocateResponseJSON {
-	out := allocateResponseJSON{
+// ToAllocateResponse converts an allocation decision to its wire form.
+func ToAllocateResponse(res *allocate.Result) api.AllocateResponse {
+	out := api.AllocateResponse{
 		ScaleOut:     res.Chosen.ScaleOut,
 		PredictedSec: res.Chosen.SmoothedSec,
 		Cost:         res.Chosen.Cost,
@@ -245,10 +106,10 @@ func toAllocateResponseJSON(res *allocate.Result) allocateResponseJSON {
 		Source:       string(res.Source),
 		MarginSec:    res.MarginSec,
 		MarginFrac:   res.MarginFrac,
-		Curve:        make([]curvePointJSON, len(res.Curve)),
+		Curve:        make([]api.CurvePoint, len(res.Curve)),
 	}
 	for i, cp := range res.Curve {
-		out.Curve[i] = curvePointJSON{
+		out.Curve[i] = api.CurvePoint{
 			ScaleOut:     cp.ScaleOut,
 			PredictedSec: cp.PredictedSec,
 			SmoothedSec:  cp.SmoothedSec,
@@ -259,40 +120,123 @@ func toAllocateResponseJSON(res *allocate.Result) allocateResponseJSON {
 	return out
 }
 
-// maxBodyBytes bounds request bodies so one oversized POST cannot
-// exhaust server memory; maxBatchRequests bounds the per-batch fan-out.
+// MaxBodyBytes bounds request bodies so one oversized POST cannot
+// exhaust server memory; MaxBatchRequests bounds the per-batch fan-out.
 const (
-	maxBodyBytes     = 8 << 20 // 8 MiB
-	maxBatchRequests = 10000
+	MaxBodyBytes     = 8 << 20 // 8 MiB
+	MaxBatchRequests = 10000
 )
 
-// decodeBody decodes a bounded JSON request body into v. On failure it
-// writes the response — 413 when the body exceeded maxBodyBytes, 400
-// otherwise — and returns false. Decode errors are reported by kind
-// only; raw body contents never echo back to the client.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+// DecodeBody decodes a bounded JSON request body into v. On failure it
+// writes the enveloped response — 413 when the body exceeded
+// MaxBodyBytes, 400 otherwise — and returns false. Decode errors are
+// reported by kind only; raw body contents never echo back to the
+// client.
+func DecodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes)).Decode(v)
 	if err == nil {
 		return true
 	}
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		httpError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("serve: request body exceeds %d bytes", tooLarge.Limit))
+		api.WriteError(w, http.StatusRequestEntityTooLarge,
+			api.Errorf(api.CodePayloadTooLarge, "serve: request body exceeds %d bytes", tooLarge.Limit))
 		return false
 	}
-	httpError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding request: malformed JSON body"))
+	api.WriteError(w, http.StatusBadRequest,
+		api.Errorf(api.CodeBadRequest, "serve: decoding request: malformed JSON body"))
 	return false
+}
+
+// StatsPayload snapshots the service counters in wire form, the body
+// of GET /v1/stats. The shard router embeds one per shard.
+func (s *Service) StatsPayload() api.Stats {
+	st := s.Stats()
+	out := api.Stats{
+		SchemaVersion:   api.StatsSchemaVersion,
+		Requests:        st.Requests,
+		Calls:           st.Calls,
+		ResultHits:      st.ResultHits,
+		ResultMisses:    st.ResultMisses,
+		ResultCacheLen:  st.ResultCacheLen,
+		MeanLatencyUsec: float64(st.MeanLatency.Nanoseconds()) / 1e3,
+		ModelHits:       st.Registry.Hits,
+		ModelMisses:     st.Registry.Misses,
+		ModelLoads:      st.Registry.Loads,
+		ModelLoadErrors: st.Registry.LoadErrors,
+		ModelEvictions:  st.Registry.Evictions,
+		ModelSwaps:      st.Registry.Swaps,
+		Alloc: api.AllocStats{
+			Requests:        st.Alloc.Requests,
+			Errors:          st.Alloc.Errors,
+			Violations:      st.Alloc.Violations,
+			Fallbacks:       st.Alloc.Fallbacks,
+			MeanLatencyUsec: float64(st.Alloc.MeanLatency.Nanoseconds()) / 1e3,
+		},
+	}
+	if ls, ok := s.lifecycleStats(); ok {
+		out.Lifecycle = &api.LifecycleStats{
+			Observations:     ls.Observations,
+			Rejected:         ls.Rejected,
+			PendingSamples:   ls.PendingSamples,
+			Finetunes:        ls.Finetunes,
+			FinetuneErrors:   ls.FinetuneErrors,
+			Swaps:            ls.Swaps,
+			SwapsSkipped:     ls.SwapsSkipped,
+			MeanFinetuneUsec: float64(ls.MeanFinetune.Nanoseconds()) / 1e3,
+			Restored:         ls.Restored,
+			LogErrors:        ls.LogErrors,
+		}
+	}
+	if ds, ok := s.storeStats(); ok {
+		out.Store = &api.StoreStats{
+			WALAppends:           ds.WALAppends,
+			WALAppendedBytes:     ds.WALAppendedBytes,
+			WALSegments:          ds.WALSegments,
+			WALActiveSeq:         ds.WALActiveSeq,
+			Fsyncs:               ds.Fsyncs,
+			RepairedBytes:        ds.RepairedBytes,
+			ReplayedObservations: ds.ReplayedObservations,
+			ReplayedDigests:      ds.ReplayedDigests,
+			CorruptSegments:      ds.CorruptSegments,
+			Compactions:          ds.Compactions,
+			CompactedRecords:     ds.CompactedRecords,
+			CompactSegments:      ds.CompactSegments,
+			Checkpoints:          ds.Checkpoints,
+			CheckpointErrors:     ds.CheckpointErrors,
+			CheckpointLoads:      ds.CheckpointLoads,
+		}
+	}
+	if lc := st.LoadCtl; lc != nil {
+		out.LoadCtl = &api.LoadCtlStats{
+			RateLimited:       lc.RateLimited,
+			Clients:           lc.Clients,
+			ClientsEvicted:    lc.ClientsEvicted,
+			Admitted:          lc.Admitted,
+			Queued:            lc.Queued,
+			ShedQueueFull:     lc.ShedQueueFull,
+			ShedTimeout:       lc.ShedTimeout,
+			ShedCanceled:      lc.ShedCanceled,
+			GateBypassed:      lc.GateBypassed,
+			DeadlineRejects:   lc.DeadlineRejects,
+			MeanQueueWaitUsec: float64(lc.MeanQueueWait.Nanoseconds()) / 1e3,
+			Draining:          lc.Draining,
+		}
+	}
+	return out
 }
 
 // Handler returns the HTTP API of the service:
 //
-//	POST /v1/predict        one predictRequestJSON -> predictResponseJSON
-//	POST /v1/predict/batch  batchRequestJSON -> batchResponseJSON
-//	POST /v1/allocate       allocateRequestJSON -> allocateResponseJSON
-//	POST /v1/observe        observeRequestJSON -> observeResponseJSON
-//	GET  /v1/stats          statsJSON
+//	POST /v1/predict        api.PredictRequest -> api.PredictResponse
+//	POST /v1/predict/batch  api.BatchRequest -> api.BatchResponse
+//	POST /v1/allocate       api.AllocateRequest -> api.AllocateResponse
+//	POST /v1/observe        api.ObserveRequest -> api.ObserveResponse
+//	GET  /v1/stats          api.Stats
 //	GET  /healthz           200 ok, 503 while draining
+//
+// Every non-2xx response carries the unified error envelope
+// {"error":{"code","message","retry_after_ms"}} (api.ErrorEnvelope).
 //
 // When load control is attached (AttachLoadControl), every POST route
 // runs the per-client rate limiter against the headers before reading
@@ -304,13 +248,13 @@ func (s *Service) Handler() http.Handler {
 		if !s.rateLimit(w, r) {
 			return
 		}
-		var in predictRequestJSON
-		if !decodeBody(w, r, &in) {
+		var in api.PredictRequest
+		if !DecodeBody(w, r, &in) {
 			return
 		}
-		req, err := toRequest(in)
+		req, err := ToRequest(in)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			api.WriteError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
 			return
 		}
 		// A result-cache hit answers from memory in microseconds: let it
@@ -318,7 +262,7 @@ func (s *Service) Handler() http.Handler {
 		// even when the gate is saturated with expensive work.
 		if s.PeekCached(req.Key, req.Query) {
 			s.gateBypassed.Add(1)
-			writeJSON(w, toResponseJSON(s.Predict(r.Context(), req.Key, req.Query)))
+			api.WriteJSON(w, ToAPIResponse(s.Predict(r.Context(), req.Key, req.Query)))
 			return
 		}
 		ctx, cancel := s.requestContext(r)
@@ -339,28 +283,28 @@ func (s *Service) Handler() http.Handler {
 			s.writeDeadlineError(w, resp.Err)
 			return
 		}
-		writeJSON(w, toResponseJSON(resp))
+		api.WriteJSON(w, ToAPIResponse(resp))
 	})
 	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
 		if !s.rateLimit(w, r) {
 			return
 		}
-		var in batchRequestJSON
-		if !decodeBody(w, r, &in) {
+		var in api.BatchRequest
+		if !DecodeBody(w, r, &in) {
 			return
 		}
-		if len(in.Requests) > maxBatchRequests {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("batch of %d requests exceeds limit %d", len(in.Requests), maxBatchRequests))
+		if len(in.Requests) > MaxBatchRequests {
+			api.WriteError(w, http.StatusRequestEntityTooLarge,
+				api.Errorf(api.CodePayloadTooLarge, "batch of %d requests exceeds limit %d", len(in.Requests), MaxBatchRequests))
 			return
 		}
 		reqs := make([]Request, len(in.Requests))
-		resp := batchResponseJSON{Responses: make([]predictResponseJSON, len(in.Requests))}
+		resp := api.BatchResponse{Responses: make([]api.PredictResponse, len(in.Requests))}
 		bad := make([]bool, len(in.Requests))
 		for i, rj := range in.Requests {
-			req, err := toRequest(rj)
+			req, err := ToRequest(rj)
 			if err != nil {
-				resp.Responses[i] = predictResponseJSON{Error: err.Error()}
+				resp.Responses[i] = api.PredictResponse{Error: api.Errorf(api.CodeBadRequest, "%v", err)}
 				bad[i] = true
 				continue
 			}
@@ -384,25 +328,30 @@ func (s *Service) Handler() http.Handler {
 			}
 		}
 		for j, out := range s.PredictBatch(ctx, live) {
-			resp.Responses[liveIdx[j]] = toResponseJSON(out)
+			resp.Responses[liveIdx[j]] = ToAPIResponse(out)
 		}
 		if err := ctx.Err(); err != nil {
 			s.writeDeadlineError(w, err)
 			return
 		}
-		writeJSON(w, resp)
+		for i := range resp.Responses {
+			if resp.Responses[i].Error != nil {
+				resp.Failed++
+			}
+		}
+		api.WriteJSON(w, resp)
 	})
 	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
 		if !s.rateLimit(w, r) {
 			return
 		}
-		var in allocateRequestJSON
-		if !decodeBody(w, r, &in) {
+		var in api.AllocateRequest
+		if !DecodeBody(w, r, &in) {
 			return
 		}
-		key, req, err := toAllocateRequest(in)
+		key, req, err := ToAllocateRequest(in)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			api.WriteError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
 			return
 		}
 		ctx, cancel := s.requestContext(r)
@@ -426,24 +375,22 @@ func (s *Service) Handler() http.Handler {
 			if errors.Is(err, ErrModelUnavailable) {
 				code = http.StatusNotFound
 			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(code)
-			_ = json.NewEncoder(w).Encode(allocateResponseJSON{Error: err.Error()})
+			api.WriteError(w, code, ToAPIError(err))
 			return
 		}
-		writeJSON(w, toAllocateResponseJSON(res))
+		api.WriteJSON(w, ToAllocateResponse(res))
 	})
 	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
 		if !s.rateLimit(w, r) {
 			return
 		}
-		var in observeRequestJSON
-		if !decodeBody(w, r, &in) {
+		var in api.ObserveRequest
+		if !DecodeBody(w, r, &in) {
 			return
 		}
-		req, err := toRequest(in.predictRequestJSON)
+		req, err := ToRequest(in.PredictRequest)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			api.WriteError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
 			return
 		}
 		ctx, cancel := s.requestContext(r)
@@ -460,6 +407,7 @@ func (s *Service) Handler() http.Handler {
 				return
 			}
 			code := http.StatusBadRequest
+			typed := ToAPIError(err)
 			switch {
 			case errors.Is(err, ErrObserveDisabled):
 				code = http.StatusServiceUnavailable
@@ -467,113 +415,28 @@ func (s *Service) Handler() http.Handler {
 				// Valid request, server-side limit: retriable, not 4xx
 				// client fault.
 				code = http.StatusTooManyRequests
+				typed = typed.WithRetryAfter(time.Second)
 			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(code)
-			_ = json.NewEncoder(w).Encode(observeResponseJSON{Error: err.Error()})
+			api.WriteError(w, code, typed)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
-		_ = json.NewEncoder(w).Encode(observeResponseJSON{Accepted: true})
+		_ = json.NewEncoder(w).Encode(api.ObserveResponse{Accepted: true})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		st := s.Stats()
-		out := statsJSON{
-			Requests:        st.Requests,
-			Calls:           st.Calls,
-			ResultHits:      st.ResultHits,
-			ResultMisses:    st.ResultMisses,
-			ResultCacheLen:  st.ResultCacheLen,
-			MeanLatencyUsec: float64(st.MeanLatency.Nanoseconds()) / 1e3,
-			ModelHits:       st.Registry.Hits,
-			ModelMisses:     st.Registry.Misses,
-			ModelLoads:      st.Registry.Loads,
-			ModelLoadErrors: st.Registry.LoadErrors,
-			ModelEvictions:  st.Registry.Evictions,
-			ModelSwaps:      st.Registry.Swaps,
-			Alloc: allocStatsJSON{
-				Requests:        st.Alloc.Requests,
-				Errors:          st.Alloc.Errors,
-				Violations:      st.Alloc.Violations,
-				Fallbacks:       st.Alloc.Fallbacks,
-				MeanLatencyUsec: float64(st.Alloc.MeanLatency.Nanoseconds()) / 1e3,
-			},
-		}
-		if ls, ok := s.lifecycleStats(); ok {
-			out.Lifecycle = &lifecycleJSON{
-				Observations:     ls.Observations,
-				Rejected:         ls.Rejected,
-				PendingSamples:   ls.PendingSamples,
-				Finetunes:        ls.Finetunes,
-				FinetuneErrors:   ls.FinetuneErrors,
-				Swaps:            ls.Swaps,
-				SwapsSkipped:     ls.SwapsSkipped,
-				MeanFinetuneUsec: float64(ls.MeanFinetune.Nanoseconds()) / 1e3,
-				Restored:         ls.Restored,
-				LogErrors:        ls.LogErrors,
-			}
-		}
-		if ds, ok := s.storeStats(); ok {
-			out.Store = &storeJSON{
-				WALAppends:           ds.WALAppends,
-				WALAppendedBytes:     ds.WALAppendedBytes,
-				WALSegments:          ds.WALSegments,
-				WALActiveSeq:         ds.WALActiveSeq,
-				Fsyncs:               ds.Fsyncs,
-				RepairedBytes:        ds.RepairedBytes,
-				ReplayedObservations: ds.ReplayedObservations,
-				ReplayedDigests:      ds.ReplayedDigests,
-				CorruptSegments:      ds.CorruptSegments,
-				Compactions:          ds.Compactions,
-				CompactedRecords:     ds.CompactedRecords,
-				CompactSegments:      ds.CompactSegments,
-				Checkpoints:          ds.Checkpoints,
-				CheckpointErrors:     ds.CheckpointErrors,
-				CheckpointLoads:      ds.CheckpointLoads,
-			}
-		}
-		if lc := st.LoadCtl; lc != nil {
-			out.LoadCtl = &loadctlJSON{
-				RateLimited:       lc.RateLimited,
-				Clients:           lc.Clients,
-				ClientsEvicted:    lc.ClientsEvicted,
-				Admitted:          lc.Admitted,
-				Queued:            lc.Queued,
-				ShedQueueFull:     lc.ShedQueueFull,
-				ShedTimeout:       lc.ShedTimeout,
-				ShedCanceled:      lc.ShedCanceled,
-				GateBypassed:      lc.GateBypassed,
-				DeadlineRejects:   lc.DeadlineRejects,
-				MeanQueueWaitUsec: float64(lc.MeanQueueWait.Nanoseconds()) / 1e3,
-				Draining:          lc.Draining,
-			}
-		}
-		writeJSON(w, out)
+		api.WriteJSON(w, s.StatsPayload())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// A draining server answers not-ready so load balancers stop
 		// routing new work to it while in-flight requests finish.
 		if s.Draining() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
+			api.WriteError(w, http.StatusServiceUnavailable,
+				api.Errorf(api.CodeDraining, "serve: draining").WithRetryAfter(time.Second))
 			return
 		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(predictResponseJSON{Error: err.Error()})
 }

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/loadctl"
+)
+
+// decodeEnvelope asserts raw is the unified error envelope
+// {"error":{"code","message",...}} and returns the typed error.
+func decodeEnvelope(t testing.TB, raw []byte) *api.Error {
+	t.Helper()
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil {
+		t.Fatalf("body %q is not the error envelope", raw)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope %q missing code or message", raw)
+	}
+	return env.Error
+}
+
+// TestErrorEnvelopeOnEveryRoute sweeps every route and rejection class
+// of the /v1 surface and asserts each non-2xx answer carries the
+// unified envelope with the documented code — the acceptance criterion
+// that no error path still speaks an ad-hoc shape.
+func TestErrorEnvelopeOnEveryRoute(t *testing.T) {
+	srv, svc := newTestServer(t)
+
+	// 400 malformed JSON and 413 oversized body on every POST route.
+	huge := append([]byte(`{"job":"`), bytes.Repeat([]byte("x"), MaxBodyBytes+16)...)
+	huge = append(huge, '"', '}')
+	for _, route := range postRoutes {
+		resp, raw := postRaw(t, srv.URL+route, []byte("{nope"), nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s malformed: status %d, want 400", route, resp.StatusCode)
+		}
+		if e := decodeEnvelope(t, raw); e.Code != api.CodeBadRequest {
+			t.Fatalf("%s malformed: code %q, want %q", route, e.Code, api.CodeBadRequest)
+		}
+		resp, raw = postRaw(t, srv.URL+route, huge, nil)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized: status %d, want 413", route, resp.StatusCode)
+		}
+		if e := decodeEnvelope(t, raw); e.Code != api.CodePayloadTooLarge {
+			t.Fatalf("%s oversized: code %q, want %q", route, e.Code, api.CodePayloadTooLarge)
+		}
+	}
+
+	// 400 semantic validation (missing job) on the typed routes.
+	for _, tc := range []struct {
+		route string
+		body  string
+	}{
+		{"/v1/predict", `{"env":"c3o","scale_out":2,"essential":[]}`},
+		{"/v1/allocate", `{"env":"c3o","min_scale_out":2,"max_scale_out":4,"deadline_sec":10,"cost_per_node_hour":1}`},
+		{"/v1/observe", `{"env":"c3o","runtime_sec":5,"essential":[]}`},
+	} {
+		resp, raw := postRaw(t, srv.URL+tc.route, []byte(tc.body), nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s missing job: status %d, want 400", tc.route, resp.StatusCode)
+		}
+		if e := decodeEnvelope(t, raw); e.Code != api.CodeBadRequest {
+			t.Fatalf("%s missing job: code %q, want %q", tc.route, e.Code, api.CodeBadRequest)
+		}
+	}
+
+	// 503 observe without a lifecycle attached.
+	obsBody, _ := json.Marshal(wireObservation(4, 10000, 55))
+	resp, raw := postRaw(t, srv.URL+"/v1/observe", obsBody, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("observe disabled: status %d, want 503", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, raw); e.Code != api.CodeObserveDisabled {
+		t.Fatalf("observe disabled: code %q, want %q", e.Code, api.CodeObserveDisabled)
+	}
+
+	// 429 observe capacity (retriable, carries a retry hint).
+	svc.AttachObserver(&recordingObserver{capacity: 1})
+	if resp, _ := postRaw(t, srv.URL+"/v1/observe", obsBody, nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first observe: status %d, want 202", resp.StatusCode)
+	}
+	resp, raw = postRaw(t, srv.URL+"/v1/observe", obsBody, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("observe capacity: status %d, want 429", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, raw); e.Code != api.CodeObserveCapacity || e.RetryAfterMs <= 0 {
+		t.Fatalf("observe capacity: envelope %+v, want code %q with retry hint", e, api.CodeObserveCapacity)
+	}
+
+	// 503 healthz while draining.
+	svc.SetDraining(true)
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hraw, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	svc.SetDraining(false)
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: status %d, want 503", hresp.StatusCode)
+	}
+	if e := decodeEnvelope(t, hraw); e.Code != api.CodeDraining {
+		t.Fatalf("draining healthz: code %q, want %q", e.Code, api.CodeDraining)
+	}
+}
+
+// TestErrorEnvelope404ModelNotFound pins the allocate route's 404.
+func TestErrorEnvelope404ModelNotFound(t *testing.T) {
+	cl := &countingLoader{t: t}
+	cl.failNext(ModelKey{Job: "sort", Env: "c3o"}, 1000)
+	svc := NewService(cl.load, Options{})
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	body, _ := json.Marshal(wireAllocateRequest(100))
+	resp, raw := postRaw(t, srv.URL+"/v1/allocate", body, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, raw); e.Code != api.CodeModelNotFound {
+		t.Fatalf("code %q, want %q", e.Code, api.CodeModelNotFound)
+	}
+}
+
+// TestErrorEnvelope503Overloaded pins the gate-shed rejection shape.
+func TestErrorEnvelope503Overloaded(t *testing.T) {
+	cl := &countingLoader{t: t}
+	block := make(chan struct{})
+	loader := func(key ModelKey) (*core.Model, error) {
+		<-block
+		return cl.load(key)
+	}
+	gate := loadctl.NewGate(loadctl.GateConfig{MaxInFlight: 1, MaxQueue: 1, MaxWait: 5 * time.Second})
+	srv, _ := newServerWith(t, loader, Options{}, LoadControl{Gate: gate})
+
+	body, _ := json.Marshal(wireRequest(2, 10000))
+	finished := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			postRaw(t, srv.URL+"/v1/predict", body, nil)
+			finished <- struct{}{}
+		}()
+	}
+	waitUntil(t, "gate saturated", func() bool {
+		st := gate.Stats()
+		return st.InFlight == 1 && st.Waiting == 1
+	})
+	resp, raw := postRaw(t, srv.URL+"/v1/predict", body, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, raw); e.Code != api.CodeOverloaded || e.RetryAfterMs <= 0 {
+		t.Fatalf("envelope %+v, want code %q with retry hint", e, api.CodeOverloaded)
+	}
+	close(block)
+	<-finished
+	<-finished
+}

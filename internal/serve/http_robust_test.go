@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/loadctl"
 	"repro/internal/loadgen"
@@ -61,16 +62,15 @@ func TestHTTPOversizedBodyIs413(t *testing.T) {
 	srv, _ := newTestServer(t)
 	// Valid JSON prefix so the decoder keeps reading the giant string
 	// value until MaxBytesReader cuts it off.
-	body := append([]byte(`{"job":"`), bytes.Repeat([]byte("a"), maxBodyBytes+16)...)
+	body := append([]byte(`{"job":"`), bytes.Repeat([]byte("a"), MaxBodyBytes+16)...)
 	body = append(body, '"', '}')
 	for _, route := range postRoutes {
 		resp, raw := postRaw(t, srv.URL+route, body, nil)
 		if resp.StatusCode != http.StatusRequestEntityTooLarge {
 			t.Fatalf("%s: status %d, want 413", route, resp.StatusCode)
 		}
-		var out predictResponseJSON
-		if err := json.Unmarshal(raw, &out); err != nil || out.Error == "" {
-			t.Fatalf("%s: body %q, want a JSON error", route, raw)
+		if e := decodeEnvelope(t, raw); e.Code != api.CodePayloadTooLarge {
+			t.Fatalf("%s: body %q, want envelope code %q", route, raw, api.CodePayloadTooLarge)
 		}
 	}
 }
@@ -89,9 +89,8 @@ func TestHTTPMalformedJSONDoesNotEchoBody(t *testing.T) {
 		if strings.Contains(string(raw), "SECRET_TOKEN_XYZ") {
 			t.Fatalf("%s: response %q echoes the request body", route, raw)
 		}
-		var out predictResponseJSON
-		if err := json.Unmarshal(raw, &out); err != nil || out.Error == "" {
-			t.Fatalf("%s: body %q, want a JSON error", route, raw)
+		if e := decodeEnvelope(t, raw); e.Code != api.CodeBadRequest {
+			t.Fatalf("%s: body %q, want envelope code %q", route, raw, api.CodeBadRequest)
 		}
 	}
 }
@@ -142,9 +141,8 @@ func TestHTTPRateLimited429(t *testing.T) {
 	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
 		t.Fatalf("Retry-After = %q, want a positive whole-second hint", ra)
 	}
-	var out predictResponseJSON
-	if err := json.Unmarshal(raw, &out); err != nil || out.Error == "" {
-		t.Fatalf("429 body %q, want a JSON error", raw)
+	if e := decodeEnvelope(t, raw); e.Code != api.CodeRateLimited || e.RetryAfterMs <= 0 {
+		t.Fatalf("429 body %q, want envelope code %q with a retry hint", raw, api.CodeRateLimited)
 	}
 	// Another client (distinct API key) has its own bucket.
 	resp, _ = postRaw(t, srv.URL+"/v1/predict", body, map[string]string{ClientKeyHeader: "other-client"})
@@ -250,9 +248,8 @@ func TestHTTPDeadline504(t *testing.T) {
 	if d := time.Since(start); d > 2*time.Second {
 		t.Fatalf("504 took %v, want roughly the 60ms budget", d)
 	}
-	var out predictResponseJSON
-	if err := json.Unmarshal(raw, &out); err != nil || out.Error == "" {
-		t.Fatalf("504 body %q, want a JSON error", raw)
+	if e := decodeEnvelope(t, raw); e.Code != api.CodeDeadlineExceeded {
+		t.Fatalf("504 body %q, want envelope code %q", raw, api.CodeDeadlineExceeded)
 	}
 
 	close(block)
@@ -301,7 +298,7 @@ func TestHTTPCachedPredictBypassesSaturatedGate(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cached predict under saturation: %d (%s), want 200", resp.StatusCode, raw)
 	}
-	var out predictResponseJSON
+	var out api.PredictResponse
 	if err := json.Unmarshal(raw, &out); err != nil || !out.Cached {
 		t.Fatalf("response %q, want a cache hit", raw)
 	}
@@ -334,7 +331,7 @@ func TestHTTPStatsIncludesLoadCtl(t *testing.T) {
 		t.Fatalf("GET /v1/stats: %v", err)
 	}
 	defer resp.Body.Close()
-	var st statsJSON
+	var st api.Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatalf("decoding stats: %v", err)
 	}
@@ -490,7 +487,7 @@ func TestOverloadGracefulDegradation(t *testing.T) {
 				return
 			case <-tick.C:
 				code, raw := post("/v1/predict", probeBody)
-				var out predictResponseJSON
+				var out api.PredictResponse
 				if code != http.StatusOK || json.Unmarshal(raw, &out) != nil || !out.Cached {
 					probeFail.Add(1)
 				} else {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/core"
 )
 
@@ -39,18 +40,18 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 	return resp.StatusCode
 }
 
-func wireRequest(scaleOut, sizeMB int) predictRequestJSON {
-	return predictRequestJSON{
+func wireRequest(scaleOut, sizeMB int) api.PredictRequest {
+	return api.PredictRequest{
 		Job:      "sort",
 		Env:      "c3o",
 		ScaleOut: scaleOut,
-		Essential: []propertyJSON{
+		Essential: []api.Property{
 			{Name: "dataset_size_mb", Value: fmt.Sprint(sizeMB)},
 			{Name: "dataset_characteristics", Value: "uniform"},
 			{Name: "job_parameters", Value: "--iterations 100"},
 			{Name: "node_type", Value: "m4.xlarge"},
 		},
-		Optional: []propertyJSON{
+		Optional: []api.Property{
 			{Name: "memory_mb", Value: "16384"},
 			{Name: "cpu_cores", Value: "4"},
 		},
@@ -60,16 +61,16 @@ func wireRequest(scaleOut, sizeMB int) predictRequestJSON {
 func TestHTTPPredict(t *testing.T) {
 	srv, _ := newTestServer(t)
 
-	var out predictResponseJSON
+	var out api.PredictResponse
 	code := postJSON(t, srv.URL+"/v1/predict", wireRequest(4, 10000), &out)
 	if code != http.StatusOK {
 		t.Fatalf("status %d, want 200", code)
 	}
-	if out.Error != "" || out.RuntimeSec <= 0 {
+	if out.Error != nil || out.RuntimeSec <= 0 {
 		t.Fatalf("response = %+v, want positive runtime and no error", out)
 	}
 	// Second identical call is served from the result cache.
-	var cached predictResponseJSON
+	var cached api.PredictResponse
 	postJSON(t, srv.URL+"/v1/predict", wireRequest(4, 10000), &cached)
 	if !cached.Cached || cached.RuntimeSec != out.RuntimeSec {
 		t.Fatalf("second response = %+v, want cached copy of first", cached)
@@ -81,10 +82,10 @@ func TestHTTPPredictBatch(t *testing.T) {
 
 	bad := wireRequest(4, 10000)
 	bad.Job = "" // malformed: rejected before it reaches the service
-	in := batchRequestJSON{Requests: []predictRequestJSON{
+	in := api.BatchRequest{Requests: []api.PredictRequest{
 		wireRequest(2, 10000), wireRequest(4, 10000), bad, wireRequest(-3, 10000),
 	}}
-	var out batchResponseJSON
+	var out api.BatchResponse
 	if code := postJSON(t, srv.URL+"/v1/predict/batch", in, &out); code != http.StatusOK {
 		t.Fatalf("status %d, want 200", code)
 	}
@@ -92,12 +93,12 @@ func TestHTTPPredictBatch(t *testing.T) {
 		t.Fatalf("%d responses, want 4", len(out.Responses))
 	}
 	for _, i := range []int{0, 1} {
-		if out.Responses[i].Error != "" || out.Responses[i].RuntimeSec <= 0 {
+		if out.Responses[i].Error != nil || out.Responses[i].RuntimeSec <= 0 {
 			t.Fatalf("response %d = %+v, want success", i, out.Responses[i])
 		}
 	}
 	for _, i := range []int{2, 3} {
-		if out.Responses[i].Error == "" {
+		if out.Responses[i].Error == nil {
 			t.Fatalf("response %d succeeded, want error", i)
 		}
 	}
@@ -105,7 +106,7 @@ func TestHTTPPredictBatch(t *testing.T) {
 
 func TestHTTPBatchTooLarge(t *testing.T) {
 	srv, _ := newTestServer(t)
-	in := batchRequestJSON{Requests: make([]predictRequestJSON, maxBatchRequests+1)}
+	in := api.BatchRequest{Requests: make([]api.PredictRequest, MaxBatchRequests+1)}
 	b, err := json.Marshal(in)
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
@@ -161,18 +162,18 @@ func (o *recordingObserver) LifecycleStats() LifecycleStats {
 	return LifecycleStats{Observations: int64(len(o.seen))}
 }
 
-func wireObservation(scaleOut, sizeMB int, runtime float64) observeRequestJSON {
-	return observeRequestJSON{predictRequestJSON: wireRequest(scaleOut, sizeMB), RuntimeSec: runtime}
+func wireObservation(scaleOut, sizeMB int, runtime float64) api.ObserveRequest {
+	return api.ObserveRequest{PredictRequest: wireRequest(scaleOut, sizeMB), RuntimeSec: runtime}
 }
 
 func TestHTTPObserveDisabledWithoutObserver(t *testing.T) {
 	srv, _ := newTestServer(t)
-	var out observeResponseJSON
+	var out api.ObserveResponse
 	code := postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, 55), &out)
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503", code)
 	}
-	if out.Accepted || out.Error == "" {
+	if out.Accepted || out.Error == nil {
 		t.Fatalf("response = %+v, want rejection with error", out)
 	}
 }
@@ -182,7 +183,7 @@ func TestHTTPObserve(t *testing.T) {
 	obs := &recordingObserver{}
 	svc.AttachObserver(obs)
 
-	var out observeResponseJSON
+	var out api.ObserveResponse
 	code := postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, 55.5), &out)
 	if code != http.StatusAccepted || !out.Accepted {
 		t.Fatalf("status %d, accepted %v, want 202 accepted", code, out.Accepted)
@@ -192,9 +193,10 @@ func TestHTTPObserve(t *testing.T) {
 	}
 
 	// Invalid observation: rejected by the observer -> 400.
-	code = postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, -1), &out)
-	if code != http.StatusBadRequest || out.Accepted {
-		t.Fatalf("status %d, accepted %v, want 400 rejection", code, out.Accepted)
+	var rej api.ObserveResponse
+	code = postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, -1), &rej)
+	if code != http.StatusBadRequest || rej.Accepted {
+		t.Fatalf("status %d, accepted %v, want 400 rejection", code, rej.Accepted)
 	}
 	// Malformed request (missing job): rejected before the observer.
 	bad := wireObservation(4, 10000, 10)
@@ -214,7 +216,7 @@ func TestHTTPObserve(t *testing.T) {
 		t.Fatalf("GET stats: %v", err)
 	}
 	defer resp.Body.Close()
-	var st statsJSON
+	var st api.Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatalf("decode stats: %v", err)
 	}
@@ -229,13 +231,14 @@ func TestHTTPObserveCapacityIs429(t *testing.T) {
 	srv, svc := newTestServer(t)
 	svc.AttachObserver(&recordingObserver{capacity: 1})
 
-	var out observeResponseJSON
+	var out api.ObserveResponse
 	if code := postJSON(t, srv.URL+"/v1/observe", wireObservation(4, 10000, 12), &out); code != http.StatusAccepted {
 		t.Fatalf("status %d, want 202", code)
 	}
-	code := postJSON(t, srv.URL+"/v1/observe", wireObservation(6, 10000, 13), &out)
-	if code != http.StatusTooManyRequests || out.Accepted {
-		t.Fatalf("status %d, accepted %v, want 429 rejection", code, out.Accepted)
+	var rej api.ObserveResponse
+	code := postJSON(t, srv.URL+"/v1/observe", wireObservation(6, 10000, 13), &rej)
+	if code != http.StatusTooManyRequests || rej.Accepted {
+		t.Fatalf("status %d, accepted %v, want 429 rejection", code, rej.Accepted)
 	}
 }
 
@@ -250,7 +253,7 @@ func TestHTTPStatsAndHealth(t *testing.T) {
 		t.Fatalf("GET stats: %v", err)
 	}
 	defer resp.Body.Close()
-	var st statsJSON
+	var st api.Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatalf("decode stats: %v", err)
 	}

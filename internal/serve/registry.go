@@ -377,6 +377,64 @@ func (r *Registry) Swap(key ModelKey, gen uint64, m *core.Model) (uint64, bool) 
 	return next.version, true
 }
 
+// Publish installs m as key's model at an explicit version, creating
+// the slot when absent. It is the replication install path: versions
+// arrive from a peer's registry, and the install is refused (false)
+// unless the incoming version is strictly newer than the resident one
+// — applying the rule that makes swap propagation convergent: a
+// replica never applies a version older than (or equal to) the one it
+// holds, so replays, reorderings, and duplicate deliveries are all
+// no-ops. A slot with a load still in flight is left alone; the
+// version comparison happens against whatever that load publishes, on
+// the next delivery.
+func (r *Registry) Publish(key ModelKey, version uint64, m *core.Model) bool {
+	sm := newModel(m, r.quantize)
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		cur := e.slot.Load()
+		if cur == nil || cur.version >= version {
+			r.mu.Unlock()
+			r.swapsSkipped.Add(1)
+			return false
+		}
+		e.slot.Store(&versioned{version: version, sm: sm})
+		r.lru.MoveToFront(e.elem)
+		r.mu.Unlock()
+		r.swaps.Add(1)
+		return true
+	}
+	e := &entry{key: key, gen: r.genCounter.Add(1), ready: make(chan struct{})}
+	e.slot.Store(&versioned{version: version, sm: sm})
+	close(e.ready) // born resident: getters never wait on this slot
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	for r.lru.Len() > r.cap {
+		oldest := r.lru.Back()
+		victim := oldest.Value.(*entry)
+		r.lru.Remove(oldest)
+		delete(r.entries, victim.key)
+		r.evictions.Add(1)
+	}
+	r.mu.Unlock()
+	r.swaps.Add(1)
+	return true
+}
+
+// ResidentVersions snapshots the (key, version) pairs of every fully
+// published resident model, the state a replicator pushes to a newly
+// connected peer. Slots with loads still in flight are skipped.
+func (r *Registry) ResidentVersions() map[ModelKey]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[ModelKey]uint64, len(r.entries))
+	for key, e := range r.entries {
+		if v := e.slot.Load(); v != nil {
+			out[key] = v.version
+		}
+	}
+	return out
+}
+
 // Resident reports whether key's model is resident (or at least has a
 // load in flight), i.e. whether a Get would be a cheap cache hit or an
 // expensive cold load. The admission layer uses it to classify single

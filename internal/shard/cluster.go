@@ -1,0 +1,536 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/allocate"
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/loadctl"
+	"repro/internal/serve"
+)
+
+// Node is one shard of the cluster: a complete serve.Service plus its
+// own admission gate. A node can be marked down, at which point every
+// in-flight and future dispatch to it fails fast with a typed
+// shard_unavailable error instead of hanging the batch merge.
+type Node struct {
+	ID      int
+	Service *serve.Service
+	Gate    *loadctl.Gate // per-shard admission gate; nil disables gating
+
+	down atomic.Bool
+
+	// ctxMu guards the per-node lifetime context. Marking the node down
+	// cancels it, which unblocks any dispatch currently inside the
+	// node's service; marking it up again installs a fresh context.
+	ctxMu  sync.Mutex
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	repl *Replicator
+}
+
+// NodeConfig describes one shard handed to New.
+type NodeConfig struct {
+	Service *serve.Service
+	Gate    *loadctl.Gate
+}
+
+// Options tunes a Cluster.
+type Options struct {
+	// VirtualNodes is the per-shard virtual point count of the hash
+	// ring (<= 0: DefaultVirtualNodes).
+	VirtualNodes int
+	// Limiter rate-limits per client at the router, before any body is
+	// read or any shard is touched. Nil disables rate limiting.
+	Limiter *loadctl.Limiter
+	// MaxDeadline caps client-requested X-Deadline-Ms budgets
+	// (0: serve.DefaultMaxDeadline).
+	MaxDeadline time.Duration
+	// FragmentSize bounds replication fragment payloads
+	// (<= 0: DefaultFragmentSize).
+	FragmentSize int
+}
+
+// Cluster routes the /v1 surface across N shards: single predictions
+// and observations go to the owner of their (job, env) key, batches fan
+// out per owning shard and merge in input order, and hot-swapped model
+// versions replicate to every peer. The cluster's HTTP handler speaks
+// byte-identical JSON to a single serve.Service handler — clients
+// cannot tell one shard from eight.
+type Cluster struct {
+	ring  *Ring
+	nodes []*Node
+	opts  Options
+
+	draining atomic.Bool
+
+	requests        atomic.Int64
+	batchFanouts    atomic.Int64
+	partialFailures atomic.Int64
+	rateLimited     atomic.Int64
+	deadlineRejects atomic.Int64
+}
+
+// New assembles a cluster over the given shards. At least one shard is
+// required; a one-shard cluster is a valid (if pointless) degenerate
+// case that routes everything to shard 0.
+func New(nodes []NodeConfig, opts Options) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("shard: cluster needs at least one node")
+	}
+	c := &Cluster{ring: NewRing(len(nodes), opts.VirtualNodes), opts: opts}
+	for i, nc := range nodes {
+		if nc.Service == nil {
+			return nil, fmt.Errorf("shard: node %d has no service", i)
+		}
+		n := &Node{ID: i, Service: nc.Service, Gate: nc.Gate}
+		n.ctx, n.cancel = context.WithCancel(context.Background())
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Shards reports the shard count.
+func (c *Cluster) Shards() int { return len(c.nodes) }
+
+// Owner maps a (job, env) key to its owning shard ID.
+func (c *Cluster) Owner(job, env string) int { return c.ring.Owner(job, env) }
+
+// Node returns shard i's node.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// SetDraining flips drain mode on the router and every shard.
+func (c *Cluster) SetDraining(v bool) {
+	c.draining.Store(v)
+	for _, n := range c.nodes {
+		n.Service.SetDraining(v)
+	}
+}
+
+// Draining reports whether shutdown drain has started.
+func (c *Cluster) Draining() bool { return c.draining.Load() }
+
+// MarkDown marks shard i down (or back up). Marking down cancels the
+// node's lifetime context, so dispatches blocked inside the shard fail
+// immediately and surface as shard_unavailable — a crashed shard
+// mid-batch produces a partial-failure response, never a hung merge.
+func (c *Cluster) MarkDown(i int, down bool) {
+	n := c.nodes[i]
+	n.ctxMu.Lock()
+	defer n.ctxMu.Unlock()
+	if down == n.down.Load() {
+		return
+	}
+	n.down.Store(down)
+	if down {
+		n.cancel()
+	} else {
+		n.ctx, n.cancel = context.WithCancel(context.Background())
+	}
+}
+
+// Down reports whether shard i is marked down.
+func (c *Cluster) Down(i int) bool { return c.nodes[i].down.Load() }
+
+// liveContext returns the node's current lifetime context, or false
+// when the node is down.
+func (n *Node) liveContext() (context.Context, bool) {
+	n.ctxMu.Lock()
+	defer n.ctxMu.Unlock()
+	if n.down.Load() {
+		return nil, false
+	}
+	return n.ctx, true
+}
+
+func errShardDown(id int) *api.Error {
+	return api.Errorf(api.CodeShardUnavailable, "shard: shard %d unavailable", id)
+}
+
+// dispatchContext derives the context a shard call runs under: a child
+// of the request context that is additionally canceled if the node goes
+// down mid-call. The returned stop func must be called to release the
+// watcher.
+func dispatchContext(ctx context.Context, nctx context.Context) (context.Context, context.CancelFunc) {
+	dctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(nctx, cancel)
+	return dctx, func() { stop(); cancel() }
+}
+
+// admitOn passes the shard's admission gate at the given cost. A nil
+// gate admits everything.
+func (n *Node) admitOn(ctx context.Context, cost loadctl.Cost) (func(), error) {
+	if n.Gate == nil {
+		return func() {}, nil
+	}
+	if err := n.Gate.Acquire(ctx, cost); err != nil {
+		return nil, err
+	}
+	return n.Gate.Release, nil
+}
+
+// gateError maps a gate admission failure to the typed wire error.
+func gateError(err error) *api.Error {
+	if serve.IsDeadline(err) {
+		return api.Errorf(api.CodeDeadlineExceeded, "shard: deadline exceeded while queued: %v", err)
+	}
+	return api.Errorf(api.CodeOverloaded, "shard: %v", err).WithRetryAfter(time.Second)
+}
+
+// Predict routes one prediction to the owner of its key.
+func (c *Cluster) Predict(ctx context.Context, req serve.Request) serve.Response {
+	c.requests.Add(1)
+	return c.predictOn(ctx, c.nodes[c.ring.Owner(req.Key.Job, req.Key.Env)], req)
+}
+
+func (c *Cluster) predictOn(ctx context.Context, n *Node, req serve.Request) serve.Response {
+	nctx, ok := n.liveContext()
+	if !ok {
+		return serve.Response{Err: errShardDown(n.ID)}
+	}
+	dctx, done := dispatchContext(ctx, nctx)
+	defer done()
+	cost := loadctl.CostHeavy
+	if n.Service.Registry().Resident(req.Key) {
+		cost = loadctl.CostCheap
+	}
+	release, err := n.admitOn(dctx, cost)
+	if err != nil {
+		if n.down.Load() {
+			return serve.Response{Err: errShardDown(n.ID)}
+		}
+		return serve.Response{Err: gateError(err)}
+	}
+	defer release()
+	resp := n.Service.Predict(dctx, req.Key, req.Query)
+	if resp.Err != nil && n.down.Load() {
+		resp.Err = errShardDown(n.ID)
+	}
+	return resp
+}
+
+// PredictBatch fans a batch out to the owning shards in parallel and
+// merges the per-shard answers back into input order. A shard that is
+// down — or crashes mid-batch — contributes typed shard_unavailable
+// errors for exactly its own items; the rest of the batch completes
+// normally.
+func (c *Cluster) PredictBatch(ctx context.Context, reqs []serve.Request) []serve.Response {
+	c.requests.Add(int64(len(reqs)))
+	out := make([]serve.Response, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	// Group item indices by owning shard; the index lists are the merge
+	// plan that restores input order after the fan-out.
+	byShard := make(map[int][]int)
+	for i, r := range reqs {
+		sid := c.ring.Owner(r.Key.Job, r.Key.Env)
+		byShard[sid] = append(byShard[sid], i)
+	}
+	if len(byShard) > 1 {
+		c.batchFanouts.Add(1)
+	}
+	var wg sync.WaitGroup
+	for sid, idxs := range byShard {
+		wg.Add(1)
+		go func(n *Node, idxs []int) {
+			defer wg.Done()
+			sub := make([]serve.Request, len(idxs))
+			for j, i := range idxs {
+				sub[j] = reqs[i]
+			}
+			for j, r := range c.batchOn(ctx, n, sub) {
+				out[idxs[j]] = r
+			}
+		}(c.nodes[sid], idxs)
+	}
+	wg.Wait()
+	failed := 0
+	for i := range out {
+		if out[i].Err != nil {
+			failed++
+		}
+	}
+	if failed > 0 && failed < len(out) {
+		c.partialFailures.Add(1)
+	}
+	return out
+}
+
+func (c *Cluster) batchOn(ctx context.Context, n *Node, sub []serve.Request) []serve.Response {
+	fill := func(err error) []serve.Response {
+		rs := make([]serve.Response, len(sub))
+		for i := range rs {
+			rs[i].Err = err
+		}
+		return rs
+	}
+	nctx, ok := n.liveContext()
+	if !ok {
+		return fill(errShardDown(n.ID))
+	}
+	dctx, done := dispatchContext(ctx, nctx)
+	defer done()
+	release, err := n.admitOn(dctx, loadctl.CostHeavy)
+	if err != nil {
+		if n.down.Load() {
+			return fill(errShardDown(n.ID))
+		}
+		return fill(gateError(err))
+	}
+	defer release()
+	rs := n.Service.PredictBatch(dctx, sub)
+	if n.down.Load() {
+		// The shard died mid-batch: anything it failed on is reported as
+		// the shard's unavailability, not the request's fault.
+		for i := range rs {
+			if rs[i].Err != nil {
+				rs[i].Err = errShardDown(n.ID)
+			}
+		}
+	}
+	return rs
+}
+
+// Observe forwards an observation to the owner of its key, so each
+// shard's lifecycle controller and WAL see exactly the observations of
+// the models it serves.
+func (c *Cluster) Observe(ctx context.Context, key serve.ModelKey, q core.Query, runtimeSec float64) error {
+	c.requests.Add(1)
+	n := c.nodes[c.ring.Owner(key.Job, key.Env)]
+	nctx, ok := n.liveContext()
+	if !ok {
+		return errShardDown(n.ID)
+	}
+	dctx, done := dispatchContext(ctx, nctx)
+	defer done()
+	release, err := n.admitOn(dctx, loadctl.CostCheap)
+	if err != nil {
+		if n.down.Load() {
+			return errShardDown(n.ID)
+		}
+		return gateError(err)
+	}
+	defer release()
+	if err := n.Service.Observe(dctx, key, q, runtimeSec); err != nil {
+		if n.down.Load() {
+			return errShardDown(n.ID)
+		}
+		return err
+	}
+	return nil
+}
+
+// Allocate forwards an allocation request to the owner of its key.
+func (c *Cluster) Allocate(ctx context.Context, key serve.ModelKey, req allocate.Request) (*allocate.Result, error) {
+	c.requests.Add(1)
+	n := c.nodes[c.ring.Owner(key.Job, key.Env)]
+	nctx, ok := n.liveContext()
+	if !ok {
+		return nil, errShardDown(n.ID)
+	}
+	dctx, done := dispatchContext(ctx, nctx)
+	defer done()
+	release, err := n.admitOn(dctx, loadctl.CostHeavy)
+	if err != nil {
+		if n.down.Load() {
+			return nil, errShardDown(n.ID)
+		}
+		return nil, gateError(err)
+	}
+	defer release()
+	res, err := n.Service.Allocate(dctx, key, req)
+	if err != nil && n.down.Load() {
+		return nil, errShardDown(n.ID)
+	}
+	return res, err
+}
+
+// EnableReplication builds a replicator per node and connects every
+// pair over in-process pipes. Each connection starts with a full-state
+// snapshot push in both directions, so replication enabled after models
+// are already resident still converges.
+func (c *Cluster) EnableReplication() {
+	for _, n := range c.nodes {
+		n.repl = c.newReplicator(n)
+	}
+	for i := 0; i < len(c.nodes); i++ {
+		for j := i + 1; j < len(c.nodes); j++ {
+			a, b := net.Pipe()
+			c.nodes[i].repl.AddPeer(a)
+			c.nodes[j].repl.AddPeer(b)
+		}
+	}
+}
+
+// newReplicator wires a Replicator to node n's registry: apply goes
+// through Publish (which enforces the never-older rule) and invalidates
+// memoized results on success; snapshot serializes every resident
+// version.
+func (c *Cluster) newReplicator(n *Node) *Replicator {
+	apply := func(job, env string, version uint64, blob []byte) error {
+		m, err := core.Load(bytes.NewReader(blob))
+		if err != nil {
+			return fmt.Errorf("shard %d: decoding replicated model %s@%s v%d: %w", n.ID, job, env, version, err)
+		}
+		key := serve.ModelKey{Job: job, Env: env}
+		if !n.Service.Registry().Publish(key, version, m) {
+			return ErrStale
+		}
+		// The shard now answers from a different model version: memoized
+		// results of the old one must not outlive it.
+		n.Service.InvalidateResults(key)
+		return nil
+	}
+	snapshot := func() []VersionedBlob {
+		return snapshotRegistry(n.Service)
+	}
+	return NewReplicator(n.ID, apply, snapshot, c.opts.FragmentSize)
+}
+
+// snapshotRegistry serializes every resident model version of a
+// service, the payload of a full-state push to a reconnecting peer.
+func snapshotRegistry(svc *serve.Service) []VersionedBlob {
+	resident := svc.Registry().ResidentVersions()
+	out := make([]VersionedBlob, 0, len(resident))
+	for key := range resident {
+		ref, err := svc.Registry().GetRef(context.Background(), key)
+		if err != nil {
+			continue // evicted between snapshot and read: nothing to push
+		}
+		cm, err := ref.Model.CloneCore()
+		if err != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := cm.Save(&buf); err != nil {
+			continue
+		}
+		out = append(out, VersionedBlob{Job: key.Job, Env: key.Env, Version: ref.Version, Blob: buf.Bytes()})
+	}
+	return out
+}
+
+// Broadcast ships a freshly installed model version from shard `from`
+// to every peer. The lifecycle controller's OnInstall hook is the
+// caller: a hot swap on one shard becomes resident everywhere.
+func (c *Cluster) Broadcast(from int, key serve.ModelKey, version uint64, blob []byte) {
+	if r := c.nodes[from].repl; r != nil {
+		r.Broadcast(VersionedBlob{Job: key.Job, Env: key.Env, Version: version, Blob: blob})
+	}
+}
+
+// RestartReplication tears down node i's replicator (simulating — or
+// handling — a replica restart) and reconnects it to every live peer.
+// The fresh connections trigger full-state pushes in both directions,
+// so a replica that went away mid-replication converges to the latest
+// generation of everything.
+func (c *Cluster) RestartReplication(i int) {
+	n := c.nodes[i]
+	if n.repl != nil {
+		n.repl.Close()
+	}
+	n.repl = c.newReplicator(n)
+	for _, peer := range c.nodes {
+		if peer == n || peer.repl == nil {
+			continue
+		}
+		a, b := net.Pipe()
+		n.repl.AddPeer(a)
+		peer.repl.AddPeer(b)
+	}
+}
+
+// CloseReplication shuts down every replicator.
+func (c *Cluster) CloseReplication() {
+	for _, n := range c.nodes {
+		if n.repl != nil {
+			n.repl.Close()
+			n.repl = nil
+		}
+	}
+}
+
+// ReplicationStats aggregates the replication counters across shards,
+// or nil when replication is not enabled.
+func (c *Cluster) ReplicationStats() *api.ReplicationStats {
+	var agg api.ReplicationStats
+	any := false
+	for _, n := range c.nodes {
+		if n.repl == nil {
+			continue
+		}
+		any = true
+		st := n.repl.Stats()
+		agg.FramesSent += st.FramesSent
+		agg.FramesReceived += st.FramesReceived
+		agg.BytesSent += st.BytesSent
+		agg.BytesReceived += st.BytesReceived
+		agg.Applied += st.Applied
+		agg.Stale += st.Stale
+		agg.Reassemblies += st.Reassemblies
+		agg.PeerErrors += st.PeerErrors
+	}
+	if !any {
+		return nil
+	}
+	return &agg
+}
+
+// StatsPayload snapshots the whole cluster in wire form, the body of
+// GET /v1/stats on the sharded handler.
+func (c *Cluster) StatsPayload() api.ClusterStats {
+	out := api.ClusterStats{
+		SchemaVersion: api.StatsSchemaVersion,
+		Router: api.RouterStats{
+			Requests:        c.requests.Load(),
+			BatchFanouts:    c.batchFanouts.Load(),
+			PartialFailures: c.partialFailures.Load(),
+			RateLimited:     c.rateLimited.Load(),
+			DeadlineRejects: c.deadlineRejects.Load(),
+		},
+		Replication: c.ReplicationStats(),
+	}
+	for _, n := range c.nodes {
+		out.Shards = append(out.Shards, api.ShardStats{
+			ID:    n.ID,
+			Down:  n.down.Load(),
+			Stats: n.Service.StatsPayload(),
+		})
+	}
+	return out
+}
+
+// Topology snapshots the ring and per-shard resident models, the body
+// of GET /v1/shards.
+func (c *Cluster) Topology() api.TopologyResponse {
+	out := api.TopologyResponse{
+		SchemaVersion: api.StatsSchemaVersion,
+		VirtualNodes:  c.ring.VirtualNodes(),
+	}
+	for _, n := range c.nodes {
+		info := api.ShardInfo{ID: n.ID, Down: n.down.Load()}
+		resident := n.Service.Registry().ResidentVersions()
+		for key, v := range resident {
+			info.Models = append(info.Models, api.ModelVersion{Job: key.Job, Env: key.Env, Version: v})
+		}
+		sort.Slice(info.Models, func(i, j int) bool {
+			a, b := info.Models[i], info.Models[j]
+			if a.Job != b.Job {
+				return a.Job < b.Job
+			}
+			return a.Env < b.Env
+		})
+		out.Shards = append(out.Shards, info)
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/loadctl"
+	"repro/internal/serve"
+)
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.PropertySize = 16
+	cfg.EncodingDim = 3
+	cfg.EncoderHidden = 6
+	cfg.ScaleOutHidden = 8
+	cfg.ScaleOutDim = 4
+	cfg.PredictorHidden = 6
+	cfg.PretrainEpochs = 25
+	cfg.Seed = 7
+	return cfg
+}
+
+func essentialProps(sizeMB int) []encoding.Property {
+	return []encoding.Property{
+		{Name: "dataset_size_mb", Value: strconv.Itoa(sizeMB)},
+		{Name: "dataset_characteristics", Value: "uniform"},
+		{Name: "job_parameters", Value: "--iterations 100"},
+		{Name: "node_type", Value: "m4.xlarge"},
+	}
+}
+
+func testQuery(scaleOut, sizeMB int) core.Query {
+	return core.Query{
+		ScaleOut:  scaleOut,
+		Essential: essentialProps(sizeMB),
+		Optional: []encoding.Property{
+			{Name: "memory_mb", Value: "16384", Optional: true},
+			{Name: "cpu_cores", Value: "4", Optional: true},
+		},
+	}
+}
+
+// pretrainedBytes serializes one tiny pre-trained model, memoized so
+// every test shares a single training run.
+var pretrainedBytes = func() func(t testing.TB) []byte {
+	var once sync.Once
+	var blob []byte
+	return func(t testing.TB) []byte {
+		once.Do(func() {
+			m, err := core.New(testConfig())
+			if err != nil {
+				t.Fatalf("core.New: %v", err)
+			}
+			var samples []core.Sample
+			for _, size := range []int{10000, 14000, 18000} {
+				for x := 2; x <= 12; x += 2 {
+					samples = append(samples, core.Sample{
+						ScaleOut:   x,
+						Essential:  essentialProps(size),
+						Optional:   testQuery(x, size).Optional,
+						RuntimeSec: 30 + 400/float64(x) + 1.2*float64(x),
+					})
+				}
+			}
+			if _, err := m.Pretrain(samples); err != nil {
+				t.Fatalf("Pretrain: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := m.Save(&buf); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			blob = buf.Bytes()
+		})
+		return blob
+	}
+}()
+
+func testModel(t testing.TB) *core.Model {
+	t.Helper()
+	m, err := core.Load(bytes.NewReader(pretrainedBytes(t)))
+	if err != nil {
+		t.Fatalf("core.Load: %v", err)
+	}
+	return m
+}
+
+// newTestCluster builds an N-shard cluster whose loader serves the
+// shared pre-trained model for every key. gates may be nil for an
+// ungated cluster.
+func newTestCluster(t *testing.T, shards int, gates []*loadctl.Gate, opts Options) *Cluster {
+	t.Helper()
+	nodes := make([]NodeConfig, shards)
+	for i := range nodes {
+		nodes[i].Service = serve.NewService(func(key serve.ModelKey) (*core.Model, error) {
+			return core.Load(bytes.NewReader(pretrainedBytes(t)))
+		}, serve.Options{ModelCap: 64})
+		if gates != nil {
+			nodes[i].Gate = gates[i]
+		}
+	}
+	c, err := New(nodes, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func shardKey(job string, i int) serve.ModelKey {
+	return serve.ModelKey{Job: job, Env: fmt.Sprintf("env-%d", i)}
+}
+
+// keyOwnedBy finds a key the ring assigns to the wanted shard.
+func keyOwnedBy(t *testing.T, c *Cluster, want int) serve.ModelKey {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := shardKey("sort", i)
+		if c.Owner(k.Job, k.Env) == want {
+			return k
+		}
+	}
+	t.Fatalf("no key owned by shard %d in 10000 candidates", want)
+	return serve.ModelKey{}
+}
+
+func TestClusterRoutesByOwner(t *testing.T) {
+	c := newTestCluster(t, 4, nil, Options{})
+	ctx := context.Background()
+	keys := make([]serve.ModelKey, 12)
+	for i := range keys {
+		keys[i] = shardKey("sort", i)
+		resp := c.Predict(ctx, serve.Request{Key: keys[i], Query: testQuery(4, 10000)})
+		if resp.Err != nil {
+			t.Fatalf("predict %v: %v", keys[i], resp.Err)
+		}
+	}
+	// Each model must be resident on exactly its owner.
+	for _, k := range keys {
+		owner := c.Owner(k.Job, k.Env)
+		for s := 0; s < c.Shards(); s++ {
+			_, resident := c.Node(s).Service.Registry().ResidentVersions()[k]
+			if resident != (s == owner) {
+				t.Fatalf("key %v resident=%v on shard %d, owner is %d", k, resident, s, owner)
+			}
+		}
+	}
+}
+
+func TestClusterBatchMergesInOrder(t *testing.T) {
+	c := newTestCluster(t, 3, nil, Options{})
+	ctx := context.Background()
+
+	var reqs []serve.Request
+	for i := 0; i < 9; i++ {
+		reqs = append(reqs, serve.Request{Key: shardKey("sort", i), Query: testQuery(2+i, 10000)})
+	}
+	out := c.PredictBatch(ctx, reqs)
+	if len(out) != len(reqs) {
+		t.Fatalf("%d responses for %d requests", len(out), len(reqs))
+	}
+	for i, r := range out {
+		if r.Err != nil || r.RuntimeSec <= 0 {
+			t.Fatalf("response %d = %+v, want success", i, r)
+		}
+		// The merged slot must hold the answer for its own request:
+		// re-asking the single-predict path (now cached) must agree.
+		direct := c.Predict(ctx, reqs[i])
+		if direct.RuntimeSec != r.RuntimeSec {
+			t.Fatalf("response %d = %v, direct predict = %v: merge order broken", i, r.RuntimeSec, direct.RuntimeSec)
+		}
+	}
+}
+
+// TestClusterCrashMidBatchPartialFailure: a shard that dies while batch
+// items are queued on its gate surfaces typed shard_unavailable errors
+// for exactly its items — the merge completes, nothing hangs.
+func TestClusterCrashMidBatchPartialFailure(t *testing.T) {
+	gates := []*loadctl.Gate{
+		loadctl.NewGate(loadctl.GateConfig{MaxInFlight: 4, MaxQueue: 16, MaxWait: 10 * time.Second}),
+		loadctl.NewGate(loadctl.GateConfig{MaxInFlight: 1, MaxQueue: 16, MaxWait: 10 * time.Second}),
+	}
+	c := newTestCluster(t, 2, gates, Options{})
+	ctx := context.Background()
+
+	k0 := keyOwnedBy(t, c, 0)
+	k1 := keyOwnedBy(t, c, 1)
+
+	// Occupy shard 1's only slot so the batch's shard-1 group queues.
+	if !gates[1].TryAcquire() {
+		t.Fatal("could not occupy shard 1's gate")
+	}
+	defer gates[1].Release()
+
+	done := make(chan []serve.Response, 1)
+	reqs := []serve.Request{
+		{Key: k0, Query: testQuery(2, 10000)},
+		{Key: k1, Query: testQuery(4, 10000)},
+		{Key: k0, Query: testQuery(6, 10000)},
+		{Key: k1, Query: testQuery(8, 10000)},
+	}
+	go func() { done <- c.PredictBatch(ctx, reqs) }()
+
+	// Wait until the shard-1 group is queued on the gate, then kill the
+	// shard.
+	waitFor(t, 2*time.Second, "batch group to queue on shard 1", func() bool {
+		return gates[1].Stats().Waiting > 0
+	})
+	c.MarkDown(1, true)
+
+	var out []serve.Response
+	select {
+	case out = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch merge hung after shard crash")
+	}
+	for i, r := range out {
+		owner := c.Owner(reqs[i].Key.Job, reqs[i].Key.Env)
+		if owner == 0 {
+			if r.Err != nil {
+				t.Fatalf("item %d (live shard) failed: %v", i, r.Err)
+			}
+			continue
+		}
+		var typed *api.Error
+		if !asAPIError(r.Err, &typed) || typed.Code != api.CodeShardUnavailable {
+			t.Fatalf("item %d (dead shard) error = %v, want code %s", i, r.Err, api.CodeShardUnavailable)
+		}
+	}
+	if got := c.StatsPayload().Router.PartialFailures; got != 1 {
+		t.Fatalf("partial failures = %d, want 1", got)
+	}
+}
+
+// countObserver counts observations per shard service.
+type countObserver struct{ n atomic.Int64 }
+
+func (o *countObserver) Observe(_ context.Context, _ serve.ModelKey, _ core.Query, runtimeSec float64) error {
+	if runtimeSec <= 0 {
+		return fmt.Errorf("runtime must be positive")
+	}
+	o.n.Add(1)
+	return nil
+}
+
+func TestClusterObserveRoutesToOwner(t *testing.T) {
+	c := newTestCluster(t, 3, nil, Options{})
+	obs := make([]*countObserver, c.Shards())
+	for i := range obs {
+		obs[i] = &countObserver{}
+		c.Node(i).Service.AttachObserver(obs[i])
+	}
+	ctx := context.Background()
+	want := make([]int64, c.Shards())
+	for i := 0; i < 12; i++ {
+		k := shardKey("grep", i)
+		if err := c.Observe(ctx, k, testQuery(4, 10000), 55.5); err != nil {
+			t.Fatalf("observe %v: %v", k, err)
+		}
+		want[c.Owner(k.Job, k.Env)]++
+	}
+	for s := range obs {
+		if got := obs[s].n.Load(); got != want[s] {
+			t.Fatalf("shard %d saw %d observations, want %d", s, got, want[s])
+		}
+	}
+}
+
+// TestClusterReplicationEndToEnd: a version published on one shard
+// becomes resident on every peer; a replica that dies mid-replication
+// and restarts converges to the latest generation; stale re-deliveries
+// never move a replica backwards.
+func TestClusterReplicationEndToEnd(t *testing.T) {
+	c := newTestCluster(t, 3, nil, Options{FragmentSize: 512})
+	c.EnableReplication()
+	defer c.CloseReplication()
+
+	key := serve.ModelKey{Job: "sort", Env: "c3o"}
+	blob := pretrainedBytes(t)
+
+	// Publish v2 on shard 0 and broadcast, as the lifecycle OnInstall
+	// hook would after a hot swap.
+	if !c.Node(0).Service.Registry().Publish(key, 2, testModel(t)) {
+		t.Fatal("publish v2 on shard 0 refused")
+	}
+	c.Broadcast(0, key, 2, blob)
+	for s := 1; s < 3; s++ {
+		s := s
+		waitFor(t, 5*time.Second, fmt.Sprintf("shard %d to hold v2", s), func() bool {
+			return c.Node(s).Service.Registry().ResidentVersions()[key] == 2
+		})
+	}
+
+	// Shard 2's replicator dies; a newer version ships meanwhile.
+	c.nodes[2].repl.Close()
+	if !c.Node(0).Service.Registry().Publish(key, 3, testModel(t)) {
+		t.Fatal("publish v3 refused")
+	}
+	c.Broadcast(0, key, 3, blob)
+	waitFor(t, 5*time.Second, "shard 1 to hold v3", func() bool {
+		return c.Node(1).Service.Registry().ResidentVersions()[key] == 3
+	})
+	if got := c.Node(2).Service.Registry().ResidentVersions()[key]; got != 2 {
+		t.Fatalf("dead shard moved to v%d without a link", got)
+	}
+
+	// Restart: reconnects trigger full-state pushes; the replica
+	// converges to the latest generation.
+	c.RestartReplication(2)
+	waitFor(t, 5*time.Second, "restarted shard to converge to v3", func() bool {
+		return c.Node(2).Service.Registry().ResidentVersions()[key] == 3
+	})
+
+	// A stale rebroadcast is refused everywhere: versions stay at 3.
+	c.Broadcast(0, key, 2, blob)
+	time.Sleep(50 * time.Millisecond)
+	for s := 1; s < 3; s++ {
+		if got := c.Node(s).Service.Registry().ResidentVersions()[key]; got != 3 {
+			t.Fatalf("shard %d regressed to v%d after stale rebroadcast", s, got)
+		}
+	}
+	if st := c.ReplicationStats(); st == nil || st.Applied < 3 || st.Stale < 1 {
+		t.Fatalf("replication stats = %+v, want >=3 applied and >=1 stale", st)
+	}
+}
+
+func asAPIError(err error, target **api.Error) bool {
+	if err == nil {
+		return false
+	}
+	if e, ok := err.(*api.Error); ok {
+		*target = e
+		return true
+	}
+	return false
+}

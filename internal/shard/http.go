@@ -1,0 +1,240 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/serve"
+)
+
+// Handler returns the sharded /v1 surface. Routes, DTOs, status codes,
+// and the error envelope are identical to serve.(*Service).Handler() —
+// the only addition is GET /v1/shards, the topology endpoint. Rate
+// limiting runs once at the router; admission gating runs per shard, so
+// a hot shard sheds load without throttling its siblings.
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		if !c.rateLimit(w, r) {
+			return
+		}
+		var in api.PredictRequest
+		if !serve.DecodeBody(w, r, &in) {
+			return
+		}
+		req, err := serve.ToRequest(in)
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
+			return
+		}
+		// The owner's result cache answers hits without touching its
+		// gate, mirroring the single-shard bypass.
+		n := c.nodes[c.ring.Owner(req.Key.Job, req.Key.Env)]
+		if !n.down.Load() && n.Service.PeekCached(req.Key, req.Query) {
+			c.requests.Add(1)
+			api.WriteJSON(w, serve.ToAPIResponse(n.Service.Predict(r.Context(), req.Key, req.Query)))
+			return
+		}
+		ctx, cancel := serve.RequestContext(r, c.opts.MaxDeadline)
+		defer cancel()
+		resp := c.Predict(ctx, req)
+		if resp.Err != nil {
+			// Routing-layer failures (dead shard, saturated gate, blown
+			// deadline) are HTTP-level errors; model-level failures stay
+			// in the response body exactly like the single-shard handler.
+			typed := serve.ToAPIError(resp.Err)
+			switch typed.Code {
+			case api.CodeShardUnavailable:
+				api.WriteError(w, http.StatusServiceUnavailable, typed.WithRetryAfter(time.Second))
+				return
+			case api.CodeOverloaded:
+				api.WriteError(w, http.StatusServiceUnavailable, typed)
+				return
+			case api.CodeDeadlineExceeded:
+				c.deadlineRejects.Add(1)
+				api.WriteError(w, http.StatusGatewayTimeout, typed)
+				return
+			}
+		}
+		api.WriteJSON(w, serve.ToAPIResponse(resp))
+	})
+	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !c.rateLimit(w, r) {
+			return
+		}
+		var in api.BatchRequest
+		if !serve.DecodeBody(w, r, &in) {
+			return
+		}
+		if len(in.Requests) > serve.MaxBatchRequests {
+			api.WriteError(w, http.StatusRequestEntityTooLarge,
+				api.Errorf(api.CodePayloadTooLarge, "batch of %d requests exceeds limit %d", len(in.Requests), serve.MaxBatchRequests))
+			return
+		}
+		reqs := make([]serve.Request, len(in.Requests))
+		resp := api.BatchResponse{Responses: make([]api.PredictResponse, len(in.Requests))}
+		bad := make([]bool, len(in.Requests))
+		for i, rj := range in.Requests {
+			req, err := serve.ToRequest(rj)
+			if err != nil {
+				resp.Responses[i] = api.PredictResponse{Error: api.Errorf(api.CodeBadRequest, "%v", err)}
+				bad[i] = true
+				continue
+			}
+			reqs[i] = req
+		}
+		ctx, cancel := serve.RequestContext(r, c.opts.MaxDeadline)
+		defer cancel()
+		var live []serve.Request
+		var liveIdx []int
+		for i, req := range reqs {
+			if !bad[i] {
+				live = append(live, req)
+				liveIdx = append(liveIdx, i)
+			}
+		}
+		for j, out := range c.PredictBatch(ctx, live) {
+			resp.Responses[liveIdx[j]] = serve.ToAPIResponse(out)
+		}
+		if err := ctx.Err(); err != nil {
+			c.deadlineRejects.Add(1)
+			api.WriteError(w, http.StatusGatewayTimeout,
+				api.Errorf(api.CodeDeadlineExceeded, "shard: deadline exceeded: %v", err))
+			return
+		}
+		for i := range resp.Responses {
+			if resp.Responses[i].Error != nil {
+				resp.Failed++
+			}
+		}
+		api.WriteJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
+		if !c.rateLimit(w, r) {
+			return
+		}
+		var in api.AllocateRequest
+		if !serve.DecodeBody(w, r, &in) {
+			return
+		}
+		key, req, err := serve.ToAllocateRequest(in)
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
+			return
+		}
+		ctx, cancel := serve.RequestContext(r, c.opts.MaxDeadline)
+		defer cancel()
+		res, err := c.Allocate(ctx, key, req)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, serve.ErrModelUnavailable) {
+				code = http.StatusNotFound
+			}
+			c.writeStatusError(w, code, err)
+			return
+		}
+		api.WriteJSON(w, serve.ToAllocateResponse(res))
+	})
+	mux.HandleFunc("POST /v1/observe", func(w http.ResponseWriter, r *http.Request) {
+		if !c.rateLimit(w, r) {
+			return
+		}
+		var in api.ObserveRequest
+		if !serve.DecodeBody(w, r, &in) {
+			return
+		}
+		req, err := serve.ToRequest(in.PredictRequest)
+		if err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
+			return
+		}
+		ctx, cancel := serve.RequestContext(r, c.opts.MaxDeadline)
+		defer cancel()
+		if err := c.Observe(ctx, req.Key, req.Query, in.RuntimeSec); err != nil {
+			code := http.StatusBadRequest
+			typed := serve.ToAPIError(err)
+			switch {
+			case errors.Is(err, serve.ErrObserveDisabled):
+				code = http.StatusServiceUnavailable
+			case errors.Is(err, serve.ErrObserveCapacity):
+				code = http.StatusTooManyRequests
+				typed = typed.WithRetryAfter(time.Second)
+			default:
+				code, typed = c.classifyError(err, typed)
+			}
+			api.WriteError(w, code, typed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(api.ObserveResponse{Accepted: true})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, c.StatsPayload())
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, c.Topology())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if c.Draining() {
+			api.WriteError(w, http.StatusServiceUnavailable,
+				api.Errorf(api.CodeDraining, "shard: draining").WithRetryAfter(time.Second))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// rateLimit applies the router-level per-client limiter, if any.
+func (c *Cluster) rateLimit(w http.ResponseWriter, r *http.Request) bool {
+	if c.opts.Limiter == nil {
+		return true
+	}
+	ok, retryAfter := c.opts.Limiter.Allow(serve.ClientKey(r), time.Now())
+	if ok {
+		return true
+	}
+	c.rateLimited.Add(1)
+	api.WriteError(w, http.StatusTooManyRequests,
+		api.Errorf(api.CodeRateLimited, "shard: client rate limit exceeded").WithRetryAfter(retryAfter))
+	return false
+}
+
+// classifyError maps routing-layer failures onto HTTP status codes that
+// match the single-shard handler's contract; anything already typed
+// keeps its code.
+func (c *Cluster) classifyError(err error, typed *api.Error) (int, *api.Error) {
+	switch typed.Code {
+	case api.CodeShardUnavailable:
+		return http.StatusServiceUnavailable, typed.WithRetryAfter(time.Second)
+	case api.CodeOverloaded:
+		return http.StatusServiceUnavailable, typed
+	case api.CodeDeadlineExceeded:
+		c.deadlineRejects.Add(1)
+		return http.StatusGatewayTimeout, typed
+	case api.CodeModelNotFound:
+		return http.StatusNotFound, typed
+	}
+	if serve.IsDeadline(err) {
+		c.deadlineRejects.Add(1)
+		return http.StatusGatewayTimeout, typed
+	}
+	return http.StatusBadRequest, typed
+}
+
+// writeStatusError writes err with a caller-suggested fallback status,
+// overridden when the typed code demands a specific one.
+func (c *Cluster) writeStatusError(w http.ResponseWriter, fallback int, err error) {
+	typed := serve.ToAPIError(err)
+	code, typed := c.classifyError(err, typed)
+	if code == http.StatusBadRequest && fallback != 0 {
+		code = fallback
+	}
+	api.WriteError(w, code, typed)
+}

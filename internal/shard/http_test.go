@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/loadctl"
+	"repro/internal/serve"
+)
+
+func apiRequest(key serve.ModelKey, scaleOut int) api.PredictRequest {
+	return api.PredictRequest{
+		Job:      key.Job,
+		Env:      key.Env,
+		ScaleOut: scaleOut,
+		Essential: []api.Property{
+			{Name: "dataset_size_mb", Value: "10000"},
+			{Name: "dataset_characteristics", Value: "uniform"},
+			{Name: "job_parameters", Value: "--iterations 100"},
+			{Name: "node_type", Value: "m4.xlarge"},
+		},
+		Optional: []api.Property{
+			{Name: "memory_mb", Value: "16384"},
+			{Name: "cpu_cores", Value: "4"},
+		},
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func decodeEnvelope(t *testing.T, raw []byte) *api.Error {
+	t.Helper()
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error == nil {
+		t.Fatalf("body %q is not an error envelope (err %v)", raw, err)
+	}
+	return env.Error
+}
+
+func TestClusterHTTPEndToEnd(t *testing.T) {
+	c := newTestCluster(t, 2, nil, Options{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	k0 := keyOwnedBy(t, c, 0)
+	k1 := keyOwnedBy(t, c, 1)
+
+	// Predict routes to the owner and answers the standard DTO.
+	code, raw := postJSON(t, srv.URL+"/v1/predict", apiRequest(k1, 4))
+	if code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", code, raw)
+	}
+	var pr api.PredictResponse
+	if err := json.Unmarshal(raw, &pr); err != nil || pr.Error != nil || pr.RuntimeSec <= 0 {
+		t.Fatalf("predict response %s (err %v)", raw, err)
+	}
+	if _, ok := c.Node(1).Service.Registry().ResidentVersions()[k1]; !ok {
+		t.Fatalf("model %v not resident on its owner after predict", k1)
+	}
+
+	// Batch across both shards merges in order; a malformed item fails
+	// in place without failing the batch.
+	batch := api.BatchRequest{Requests: []api.PredictRequest{
+		apiRequest(k0, 2), apiRequest(k1, 4), {Job: ""}, apiRequest(k0, 6),
+	}}
+	code, raw = postJSON(t, srv.URL+"/v1/predict/batch", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", code, raw)
+	}
+	var br api.BatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatalf("decode batch: %v", err)
+	}
+	if len(br.Responses) != 4 || br.Failed != 1 {
+		t.Fatalf("batch = %d responses, %d failed, want 4/1", len(br.Responses), br.Failed)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if br.Responses[i].Error != nil {
+			t.Fatalf("batch item %d failed: %+v", i, br.Responses[i].Error)
+		}
+	}
+	if br.Responses[2].Error == nil || br.Responses[2].Error.Code != api.CodeBadRequest {
+		t.Fatalf("malformed item error = %+v, want %s", br.Responses[2].Error, api.CodeBadRequest)
+	}
+
+	// Stats: versioned cluster schema with one block per shard.
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	var st api.ClusterStats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.SchemaVersion != api.StatsSchemaVersion || len(st.Shards) != 2 {
+		t.Fatalf("stats schema %d, %d shards, want %d/2", st.SchemaVersion, len(st.Shards), api.StatsSchemaVersion)
+	}
+	if st.Router.Requests == 0 {
+		t.Fatal("router requests not counted")
+	}
+
+	// Topology names each shard's resident models.
+	resp, err = http.Get(srv.URL + "/v1/shards")
+	if err != nil {
+		t.Fatalf("GET shards: %v", err)
+	}
+	var topo api.TopologyResponse
+	err = json.NewDecoder(resp.Body).Decode(&topo)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode topology: %v", err)
+	}
+	if len(topo.Shards) != 2 || topo.VirtualNodes != DefaultVirtualNodes {
+		t.Fatalf("topology = %+v", topo)
+	}
+	found := false
+	for _, m := range topo.Shards[1].Models {
+		if m.Job == k1.Job && m.Env == k1.Env {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("topology shard 1 models %+v missing %v", topo.Shards[1].Models, k1)
+	}
+}
+
+func TestClusterHTTPDownShardIs503(t *testing.T) {
+	c := newTestCluster(t, 2, nil, Options{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	k1 := keyOwnedBy(t, c, 1)
+	c.MarkDown(1, true)
+
+	code, raw := postJSON(t, srv.URL+"/v1/predict", apiRequest(k1, 4))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("predict to down shard: status %d: %s", code, raw)
+	}
+	e := decodeEnvelope(t, raw)
+	if e.Code != api.CodeShardUnavailable || e.RetryAfterMs <= 0 {
+		t.Fatalf("envelope = %+v, want %s with retry hint", e, api.CodeShardUnavailable)
+	}
+
+	// The sibling shard keeps serving.
+	k0 := keyOwnedBy(t, c, 0)
+	if code, raw := postJSON(t, srv.URL+"/v1/predict", apiRequest(k0, 4)); code != http.StatusOK {
+		t.Fatalf("live shard status %d: %s", code, raw)
+	}
+
+	// Recovery: marking the shard back up restores service.
+	c.MarkDown(1, false)
+	if code, raw := postJSON(t, srv.URL+"/v1/predict", apiRequest(k1, 4)); code != http.StatusOK {
+		t.Fatalf("recovered shard status %d: %s", code, raw)
+	}
+}
+
+func TestClusterHTTPRateLimitAndDrain(t *testing.T) {
+	limiter := loadctl.NewLimiter(loadctl.LimiterConfig{Rate: 1, Burst: 2})
+	c := newTestCluster(t, 2, nil, Options{Limiter: limiter})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	k0 := keyOwnedBy(t, c, 0)
+	limited := false
+	for i := 0; i < 10; i++ {
+		code, raw := postJSON(t, srv.URL+"/v1/predict", apiRequest(k0, 2+i))
+		if code == http.StatusTooManyRequests {
+			e := decodeEnvelope(t, raw)
+			if e.Code != api.CodeRateLimited || e.RetryAfterMs <= 0 {
+				t.Fatalf("429 envelope = %+v", e)
+			}
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		t.Fatal("burst of 10 never rate limited at burst 2")
+	}
+	if c.StatsPayload().Router.RateLimited == 0 {
+		t.Fatal("router rate-limited counter not incremented")
+	}
+
+	c.SetDraining(true)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d", resp.StatusCode)
+	}
+	if e := decodeEnvelope(t, buf.Bytes()); e.Code != api.CodeDraining {
+		t.Fatalf("healthz envelope = %+v", e)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining healthz missing Retry-After header")
+	}
+}
+
+func TestClusterHTTPDeadline(t *testing.T) {
+	// Saturate the owner shard's single-slot gate so the request queues
+	// until its deadline budget lapses.
+	gates := []*loadctl.Gate{
+		loadctl.NewGate(loadctl.GateConfig{MaxInFlight: 1, MaxQueue: 8, MaxWait: 10 * time.Second}),
+		loadctl.NewGate(loadctl.GateConfig{MaxInFlight: 1, MaxQueue: 8, MaxWait: 10 * time.Second}),
+	}
+	c := newTestCluster(t, 2, gates, Options{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	k0 := keyOwnedBy(t, c, 0)
+	owner := c.Owner(k0.Job, k0.Env)
+	if !gates[owner].TryAcquire() {
+		t.Fatal("could not occupy the owner gate")
+	}
+	defer gates[owner].Release()
+
+	b, _ := json.Marshal(apiRequest(k0, 4))
+	req, err := http.NewRequest("POST", srv.URL+"/v1/predict", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	req.Header.Set(api.DeadlineHeader, "30")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s", resp.StatusCode, buf.Bytes())
+	}
+	if e := decodeEnvelope(t, buf.Bytes()); e.Code != api.CodeDeadlineExceeded {
+		t.Fatalf("envelope = %+v, want %s", e, api.CodeDeadlineExceeded)
+	}
+}

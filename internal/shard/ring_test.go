@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) [][2]string {
+	jobs := []string{"sort", "grep", "pagerank", "kmeans", "join", "sgd"}
+	keys := make([][2]string, 0, n)
+	for i := 0; i < n; i++ {
+		keys = append(keys, [2]string{jobs[i%len(jobs)], fmt.Sprintf("env-%d", i)})
+	}
+	return keys
+}
+
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(4, 0)
+	b := NewRing(4, 0)
+	for _, k := range sampleKeys(1000) {
+		if a.Owner(k[0], k[1]) != b.Owner(k[0], k[1]) {
+			t.Fatalf("rings disagree on %v", k)
+		}
+	}
+}
+
+func TestRingSingleShard(t *testing.T) {
+	r := NewRing(1, 0)
+	for _, k := range sampleKeys(100) {
+		if got := r.Owner(k[0], k[1]); got != 0 {
+			t.Fatalf("Owner(%v) = %d on a 1-shard ring", k, got)
+		}
+	}
+	if NewRing(0, 0).Shards() != 1 {
+		t.Fatal("NewRing(0) should clamp to 1 shard")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, n = 4, 20000
+	r := NewRing(shards, 0)
+	counts := make([]int, shards)
+	for _, k := range sampleKeys(n) {
+		counts[r.Owner(k[0], k[1])]++
+	}
+	// With 64 vnodes/shard the spread should be well within 2x of fair
+	// share in either direction.
+	fair := n / shards
+	for s, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Fatalf("shard %d owns %d of %d keys (fair share %d): %v", s, c, n, fair, counts)
+		}
+	}
+}
+
+// TestRingConsistency: growing the ring by one shard must reassign only
+// a bounded fraction of keys — the property that keeps most of each
+// shard's resident models valid across a topology change.
+func TestRingConsistency(t *testing.T) {
+	const n = 20000
+	before := NewRing(4, 0)
+	after := NewRing(5, 0)
+	moved := 0
+	for _, k := range sampleKeys(n) {
+		if before.Owner(k[0], k[1]) != after.Owner(k[0], k[1]) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 = 20%; allow slack for vnode placement variance but
+	// fail hard on anything near a full reshuffle.
+	if frac := float64(moved) / n; frac > 0.35 {
+		t.Fatalf("%.1f%% of keys moved adding one shard, want ~20%%", 100*frac)
+	}
+}
+
+func TestRingOwnerInRange(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		r := NewRing(shards, 16)
+		for _, k := range sampleKeys(500) {
+			if o := r.Owner(k[0], k[1]); o < 0 || o >= shards {
+				t.Fatalf("Owner = %d with %d shards", o, shards)
+			}
+		}
+	}
+}
