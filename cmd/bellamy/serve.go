@@ -5,17 +5,21 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/lifecycle"
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/store"
@@ -62,6 +66,10 @@ func runServe(args []string) error {
 	maxWait := fs.Duration("max-wait", loadctl.DefaultMaxWait, "max time a request queues for admission before it is shed")
 	maxDeadline := fs.Duration("max-deadline", serve.DefaultMaxDeadline, "cap on client-supplied X-Deadline-Ms budgets")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+	traceSample := fs.Int("trace-sample", 0, "trace 1 in N requests without an X-Trace-Id header (0 = default 1 in 64); header-carrying requests are always traced")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,8 +81,19 @@ func runServe(args []string) error {
 	}
 	sharded := *shards > 1
 
-	// label prefixes per-shard log lines; in a single-shard deployment
-	// it is empty so the output stays what it always was.
+	// Structured logging: one root logger; per-shard components log
+	// through a child carrying the shard field, so a sharded deployment's
+	// interleaved output stays attributable.
+	logger := obs.NewLogger(os.Stdout, *logLevel, *logFormat)
+	shardLog := func(i int) *slog.Logger {
+		if !sharded {
+			return logger
+		}
+		return logger.With("shard", i)
+	}
+
+	// label prefixes per-shard strings in error values; in a
+	// single-shard deployment it is empty.
 	label := func(i int) string {
 		if !sharded {
 			return ""
@@ -108,6 +127,7 @@ func runServe(args []string) error {
 			n.st, err = store.Open(dir, store.Options{
 				Fsync:           policy,
 				CompactInterval: *compactEvery,
+				Logger:          shardLog(i),
 			})
 			if err != nil {
 				return nil, err
@@ -132,7 +152,8 @@ func runServe(args []string) error {
 			}
 			n.ctl = lifecycle.New(n.svc.Registry(), cfg)
 			n.ctl.OnSwap(func(key serve.ModelKey, version uint64) {
-				fmt.Printf("%slifecycle: %s hot-swapped to v%d\n", label(i), key, version)
+				shardLog(i).Info("lifecycle: model hot-swapped",
+					"job", key.Job, "env", key.Env, "version", version)
 			})
 			// AttachObserver also subscribes the result-cache invalidation,
 			// so memoized predictions never outlive a swapped model.
@@ -152,11 +173,12 @@ func runServe(args []string) error {
 				if err != nil {
 					// A corrupt sealed segment stops replay at its clean
 					// prefix; serving continues on what was recovered.
-					fmt.Printf("%sstore: replay stopped early: %v\n", label(i), err)
+					shardLog(i).Warn("store: replay stopped early", "error", err)
 				}
 				rs := n.st.StoreStats()
-				fmt.Printf("%sstore: recovered %d observations and %d digests from %s (repaired %d torn bytes)\n",
-					label(i), rs.ReplayedObservations, rs.ReplayedDigests, dir, rs.RepairedBytes)
+				shardLog(i).Info("store: recovered durable history",
+					"observations", rs.ReplayedObservations, "digests", rs.ReplayedDigests,
+					"dir", dir, "repaired_bytes", rs.RepairedBytes)
 			}
 		}
 		return n, nil
@@ -235,9 +257,41 @@ func runServe(args []string) error {
 		}
 		handler = nodes[0].svc.Handler()
 	}
+
+	// Observability: one metrics registry and one tracer span the whole
+	// process. Sharded deployments register per-shard series under a
+	// {shard="i"} label; the router's own counters are unlabelled.
+	registry := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(registry)
+	tracer := obs.NewTracer(obs.TracerOptions{SampleEvery: *traceSample})
+	tracer.RegisterMetrics(registry, nil)
+	o := &serve.Observability{Metrics: registry, Tracer: tracer, Log: logger}
+	if sharded {
+		cluster.AttachObs(o)
+		for i, n := range nodes {
+			n.svc.AttachObs(o, obs.Labels{"shard": strconv.Itoa(i)})
+		}
+	} else {
+		nodes[0].svc.AttachObs(o, nil)
+	}
+
+	if *pprofOn {
+		// pprof mounts on an outer mux so the serving surface itself
+		// stays unaware of it; everything else falls through unchanged.
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+
 	if limiter != nil || *maxInFlight >= 0 {
-		fmt.Printf("load control on: %g req/s per client, gate %d in flight / %d queued (heavy %d) per shard, shed after %v\n",
-			*rate, *maxInFlight, *maxQueue, max(*maxQueue/2, 1), *maxWait)
+		logger.Info("load control on",
+			"rate_per_client", *rate, "max_inflight", *maxInFlight,
+			"max_queue", *maxQueue, "heavy_queue", max(*maxQueue/2, 1), "max_wait", *maxWait)
 	}
 
 	// Start the background machinery only after every hook is wired.
@@ -248,12 +302,12 @@ func runServe(args []string) error {
 		}
 		if n.st != nil {
 			n.st.Start()
-			fmt.Printf("%sdurable store on (fsync=%s, compaction every %v)\n", label(i), *fsyncMode, *compactEvery)
+			shardLog(i).Info("durable store on", "fsync", *fsyncMode, "compact_interval", *compactEvery)
 		}
 	}
 	if *observe {
-		fmt.Printf("online fine-tuning on: every %v, %d fresh samples per model trigger a refresh\n",
-			*ftInterval, *ftMinSamples)
+		logger.Info("online fine-tuning on",
+			"interval", *ftInterval, "min_samples", *ftMinSamples)
 	}
 
 	srv := &http.Server{
@@ -271,11 +325,11 @@ func runServe(args []string) error {
 		return err
 	}
 	if sharded {
-		fmt.Printf("serving models from %s on %s across %d shards\n", *modelsDir, ln.Addr(), *shards)
-		fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /v1/shards, GET /healthz")
+		logger.Info("serving models", "dir", *modelsDir, "addr", ln.Addr().String(), "shards", *shards, "pprof", *pprofOn)
+		logger.Info("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /v1/shards, GET /metrics, GET /v1/debug/slow, GET /healthz")
 	} else {
-		fmt.Printf("serving models from %s on %s\n", *modelsDir, ln.Addr())
-		fmt.Println("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /healthz")
+		logger.Info("serving models", "dir", *modelsDir, "addr", ln.Addr().String(), "pprof", *pprofOn)
+		logger.Info("endpoints: POST /v1/predict, POST /v1/predict/batch, POST /v1/allocate, POST /v1/observe, GET /v1/stats, GET /metrics, GET /v1/debug/slow, GET /healthz")
 	}
 	if testHookServeReady != nil {
 		testHookServeReady(ln.Addr().String())
@@ -293,7 +347,7 @@ func runServe(args []string) error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Printf("received %v: draining (timeout %v)\n", sig, *drainTimeout)
+		logger.Info("draining on signal", "signal", sig.String(), "timeout", *drainTimeout)
 	}
 	if cluster != nil {
 		cluster.SetDraining(true)
@@ -305,15 +359,15 @@ func runServe(args []string) error {
 	if err := srv.Shutdown(ctx); err != nil {
 		// Stragglers past the timeout are abandoned, but everything
 		// below still runs: the WAL seal must happen regardless.
-		fmt.Printf("drain: shutdown incomplete: %v\n", err)
+		logger.Warn("drain: shutdown incomplete", "error", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Printf("drain: server error: %v\n", err)
+		logger.Error("drain: server error", "error", err)
 	}
 	for i, n := range nodes {
 		if n.ctl != nil {
 			if nd := n.ctl.Drain(); nd > 0 {
-				fmt.Printf("drain: %sdigested pending observations into %d model version(s)\n", label(i), nd)
+				shardLog(i).Info("drain: digested pending observations", "model_versions", nd)
 			}
 		}
 	}
@@ -327,9 +381,9 @@ func runServe(args []string) error {
 			if err := n.st.Close(); err != nil {
 				return fmt.Errorf("drain: closing %sstore: %w", label(i), err)
 			}
-			fmt.Printf("drain: %sstore sealed\n", label(i))
+			shardLog(i).Info("drain: store sealed")
 		}
 	}
-	fmt.Println("drain: complete")
+	logger.Info("drain: complete")
 	return nil
 }

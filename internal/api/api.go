@@ -24,8 +24,10 @@ import (
 // Version 2 renamed the "loadctl" block to "load_ctl" (normalizing the
 // last lowercase-concatenated key to snake_case) and introduced the
 // schema_version field itself so consumers can switch on the shape
-// instead of string-matching field names.
-const StatsSchemaVersion = 2
+// instead of string-matching field names. Version 3 added the "obs"
+// block: /v1/stats became a compatibility view over the metrics
+// registry that also backs GET /metrics.
+const StatsSchemaVersion = 3
 
 // Request headers understood by the /v1 surface.
 const (
@@ -35,6 +37,11 @@ const (
 	// DeadlineHeader carries the client's remaining latency budget in
 	// milliseconds; the server caps it at its configured maximum.
 	DeadlineHeader = "X-Deadline-Ms"
+	// TraceIDHeader carries a client-supplied trace ID; a request
+	// bearing one is always traced and the ID is echoed on the
+	// response. Without it the server samples and, when it does, echoes
+	// the generated ID.
+	TraceIDHeader = "X-Trace-Id"
 )
 
 // Property is the wire form of one descriptive property of a dataflow
@@ -160,6 +167,19 @@ type Stats struct {
 	Lifecycle *LifecycleStats `json:"lifecycle,omitempty"`
 	Store     *StoreStats     `json:"store,omitempty"`
 	LoadCtl   *LoadCtlStats   `json:"load_ctl,omitempty"`
+	Obs       *ObsStats       `json:"obs,omitempty"`
+}
+
+// ObsStats is the schema-v3 observability block: tracing counters and
+// predict-latency quantiles read from the same log-linear histogram
+// that backs the bellamy_predict_latency_seconds summary on /metrics.
+type ObsStats struct {
+	TracesSampled   int64   `json:"traces_sampled"`
+	TracesFinished  int64   `json:"traces_finished"`
+	MetricSeries    int     `json:"metric_series"`
+	LatencyP50Usec  float64 `json:"latency_p50_usec"`
+	LatencyP99Usec  float64 `json:"latency_p99_usec"`
+	LatencyP999Usec float64 `json:"latency_p999_usec"`
 }
 
 // LoadCtlStats is the wire form of the overload-protection counters.
@@ -301,11 +321,42 @@ const (
 
 // Error is the unified error payload carried in the envelope
 // {"error":{"code","message","retry_after_ms"}} and inline in per-item
-// batch responses.
+// batch responses. Deadline-expiry (504) envelopes from a traced
+// request additionally carry the trace ID and the spans recorded up to
+// expiry, so "where did my budget go?" is answerable from the
+// rejection itself.
 type Error struct {
-	Code         string `json:"code"`
-	Message      string `json:"message"`
-	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	Code         string        `json:"code"`
+	Message      string        `json:"message"`
+	RetryAfterMs int64         `json:"retry_after_ms,omitempty"`
+	TraceID      string        `json:"trace_id,omitempty"`
+	Spans        []SpanSummary `json:"spans,omitempty"`
+}
+
+// SpanSummary is the wire form of one recorded pipeline stage. Shard
+// is -1 for stages that are not shard-specific — always serialized, so
+// shard 0 stays distinguishable from "no shard".
+type SpanSummary struct {
+	Name      string  `json:"name"`
+	Shard     int     `json:"shard"`
+	StartUsec float64 `json:"start_usec"`
+	DurUsec   float64 `json:"dur_usec"`
+}
+
+// TraceSummary is the wire form of one completed trace in
+// GET /v1/debug/slow.
+type TraceSummary struct {
+	TraceID  string        `json:"trace_id"`
+	AgeMs    int64         `json:"age_ms"`
+	WallUsec float64       `json:"wall_usec"`
+	Spans    []SpanSummary `json:"spans"`
+}
+
+// SlowTracesResponse is the wire form of GET /v1/debug/slow: the
+// retained slowest traces, slowest first.
+type SlowTracesResponse struct {
+	SchemaVersion int            `json:"schema_version"`
+	Traces        []TraceSummary `json:"traces"`
 }
 
 // Error implements the error interface so an *Error can travel through

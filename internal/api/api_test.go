@@ -75,6 +75,28 @@ func TestDTORoundTrips(t *testing.T) {
 			{ID: 1, Down: true},
 		},
 	})
+	roundTrip(t, Stats{
+		SchemaVersion: StatsSchemaVersion,
+		Obs: &ObsStats{
+			TracesSampled: 12, TracesFinished: 12, MetricSeries: 40,
+			LatencyP50Usec: 110, LatencyP99Usec: 900, LatencyP999Usec: 2100,
+		},
+	})
+	roundTrip(t, SlowTracesResponse{
+		SchemaVersion: StatsSchemaVersion,
+		Traces: []TraceSummary{{
+			TraceID: "a1b2c3", AgeMs: 1200, WallUsec: 5400,
+			Spans: []SpanSummary{
+				{Name: "decode", Shard: -1, StartUsec: 0, DurUsec: 12},
+				{Name: "predict", Shard: 2, StartUsec: 40, DurUsec: 5300},
+			},
+		}},
+	})
+	roundTrip(t, Error{
+		Code: CodeDeadlineExceeded, Message: "budget expired queued",
+		TraceID: "a1b2c3",
+		Spans:   []SpanSummary{{Name: "gate_wait", Shard: -1, DurUsec: 9000}},
+	})
 }
 
 // TestEnvelopeShape pins the exact JSON contract of the error envelope:

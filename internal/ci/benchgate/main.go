@@ -59,9 +59,16 @@ type benchFile struct {
 	Shard []benchRecord `json:"shard"`
 }
 
-// loadBaselines maps benchmark name -> recorded ns/op across files.
-func loadBaselines(paths []string) (map[string]float64, error) {
-	out := map[string]float64{}
+// baseline is one recorded bound plus the file it came from, so a gate
+// failure can point straight at the baseline to re-record.
+type baseline struct {
+	ns   float64
+	file string
+}
+
+// loadBaselines maps benchmark name -> recorded baseline across files.
+func loadBaselines(paths []string) (map[string]baseline, error) {
+	out := map[string]baseline{}
 	for _, path := range paths {
 		b, err := os.ReadFile(path)
 		if err != nil {
@@ -73,7 +80,7 @@ func loadBaselines(paths []string) (map[string]float64, error) {
 		}
 		for _, rec := range append(append(append(append(append(f.Train, f.Serve...), f.Store...), f.Mat...), f.Http...), f.Shard...) {
 			if rec.Name != "" && rec.After.NsPerOp > 0 {
-				out[rec.Name] = rec.After.NsPerOp
+				out[rec.Name] = baseline{ns: rec.After.NsPerOp, file: path}
 			}
 		}
 	}
@@ -111,7 +118,11 @@ func parseBenchOutput(r *bufio.Scanner) (map[string]float64, error) {
 
 // gate compares measured times against baselines and returns one
 // failure line per violated bound, plus a log line per checked bench.
-func gate(measured, baselines map[string]float64, required []string, maxRatio float64) (checked []string, failures []string) {
+// Each line names the benchmark, the measured-vs-allowed times, the
+// measured/baseline ratio, and the baseline file that set the bound —
+// everything needed to decide between fixing the regression and
+// re-recording the baseline.
+func gate(measured map[string]float64, baselines map[string]baseline, required []string, maxRatio float64) (checked []string, failures []string) {
 	for _, name := range required {
 		ns, ok := measured[name]
 		if !ok {
@@ -120,11 +131,12 @@ func gate(measured, baselines map[string]float64, required []string, maxRatio fl
 		}
 		base, ok := baselines[name]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: no recorded baseline", name))
+			failures = append(failures, fmt.Sprintf("%s: no recorded baseline in any given -baseline file", name))
 			continue
 		}
-		ratio := ns / base
-		line := fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%.2fx, limit %.1fx)", name, ns, base, ratio, maxRatio)
+		ratio := ns / base.ns
+		line := fmt.Sprintf("%s: measured %.0f ns/op vs allowed %.0f ns/op — %.2fx of baseline %.0f ns/op (limit %.1fx, recorded in %s)",
+			name, ns, base.ns*maxRatio, ratio, base.ns, maxRatio, base.file)
 		checked = append(checked, line)
 		if ratio > maxRatio {
 			failures = append(failures, line)

@@ -35,7 +35,10 @@ func TestParseBenchOutput(t *testing.T) {
 }
 
 func TestGate(t *testing.T) {
-	baselines := map[string]float64{"BenchmarkPretrain": 1000, "BenchmarkWarm": 100}
+	baselines := map[string]baseline{
+		"BenchmarkPretrain": {ns: 1000, file: "BENCH_train.json"},
+		"BenchmarkWarm":     {ns: 100, file: "BENCH_serve.json"},
+	}
 	required := []string{"BenchmarkPretrain", "BenchmarkWarm"}
 
 	// Within bounds (exactly at the limit passes).
@@ -47,10 +50,17 @@ func TestGate(t *testing.T) {
 		t.Fatalf("checked %d benchmarks, want 2", len(checked))
 	}
 
-	// Regression past the ratio fails.
+	// Regression past the ratio fails, and the failure line names the
+	// benchmark, the measured-vs-allowed times, the ratio, and the
+	// baseline file that set the bound.
 	_, failures = gate(map[string]float64{"BenchmarkPretrain": 2001, "BenchmarkWarm": 90}, baselines, required, 2.0)
 	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkPretrain") {
 		t.Fatalf("failures = %v, want exactly the regressed benchmark", failures)
+	}
+	for _, want := range []string{"measured 2001 ns/op", "allowed 2000 ns/op", "2.00x", "BENCH_train.json"} {
+		if !strings.Contains(failures[0], want) {
+			t.Fatalf("failure line %q missing %q", failures[0], want)
+		}
 	}
 
 	// A required benchmark missing from the measurement fails loudly.
@@ -60,7 +70,7 @@ func TestGate(t *testing.T) {
 	}
 
 	// A benchmark without a recorded baseline fails loudly too.
-	_, failures = gate(map[string]float64{"BenchmarkOther": 500}, map[string]float64{}, []string{"BenchmarkOther"}, 2.0)
+	_, failures = gate(map[string]float64{"BenchmarkOther": 500}, map[string]baseline{}, []string{"BenchmarkOther"}, 2.0)
 	if len(failures) != 1 || !strings.Contains(failures[0], "no recorded baseline") {
 		t.Fatalf("failures = %v, want no-baseline failure", failures)
 	}
@@ -142,8 +152,11 @@ func TestLoadBaselines(t *testing.T) {
 		t.Fatalf("loadBaselines: %v", err)
 	}
 	for _, name := range []string{"BenchmarkPretrain", "BenchmarkPredictBatchWarm", "BenchmarkShardPredict/shards=1"} {
-		if m[name] <= 0 {
-			t.Fatalf("baseline for %s = %v, want > 0", name, m[name])
+		if m[name].ns <= 0 {
+			t.Fatalf("baseline for %s = %v, want > 0", name, m[name].ns)
+		}
+		if m[name].file == "" {
+			t.Fatalf("baseline for %s does not record its source file", name)
 		}
 	}
 }

@@ -6,39 +6,9 @@ import (
 	"time"
 )
 
-// TestBucketRoundTrip: every value lands in a bucket whose lower bound
-// is at most the value and within the layout's relative error of it.
-func TestBucketRoundTrip(t *testing.T) {
-	values := []int64{0, 1, 31, 32, 33, 63, 64, 1000, 4095, 4096,
-		1e6, 1e9, 37e9, 1 << 40}
-	for _, v := range values {
-		idx := bucketIdx(v)
-		lo := bucketValue(idx)
-		if lo > v {
-			t.Fatalf("bucketValue(bucketIdx(%d)) = %d > value", v, lo)
-		}
-		// Relative error bound: one sub-bucket width.
-		if v >= subBuckets && float64(v-lo) > float64(v)/subBuckets {
-			t.Fatalf("value %d quantized to %d: error beyond one sub-bucket", v, lo)
-		}
-		if v < subBuckets && lo != v {
-			t.Fatalf("small value %d quantized to %d, want exact", v, lo)
-		}
-	}
-}
-
-// TestBucketMonotonic: bucket index never decreases as values grow, so
-// quantiles are well ordered.
-func TestBucketMonotonic(t *testing.T) {
-	prev := -1
-	for v := int64(0); v < 1<<20; v += 37 {
-		idx := bucketIdx(v)
-		if idx < prev {
-			t.Fatalf("bucketIdx(%d) = %d < previous %d", v, idx, prev)
-		}
-		prev = idx
-	}
-}
+// The bucket-layout tests (round-trip, monotonicity) moved to
+// internal/obs with the histogram implementation; what stays here is
+// the public-API behavior `bellamy bench` depends on.
 
 func TestHistQuantiles(t *testing.T) {
 	h := NewHist()

@@ -1,3 +1,11 @@
+// Package loadgen is the open-loop load-generation harness behind
+// `bellamy bench` and the overload tests: a log-linear latency
+// histogram (HDR-style: bounded memory, ~3% relative error at any
+// magnitude, shared with internal/obs) and a scheduler that fires
+// requests at a fixed arrival rate regardless of completions — the
+// only way to observe how a server behaves past saturation, since a
+// closed loop slows its own offered load down to whatever the server
+// can absorb.
 package loadgen
 
 import (

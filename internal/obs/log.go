@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w. level is one of
+// "debug", "info", "warn", "error" (default info); format is "json" or
+// "text" (default text). Unknown values fall back to the defaults
+// rather than erroring — logging must never stop a server from
+// starting.
+func NewLogger(w io.Writer, level, format string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if strings.EqualFold(format, "json") {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// NopLogger returns a logger that discards everything — the default
+// for components whose caller did not wire one.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memReader caches runtime.ReadMemStats snapshots: ReadMemStats stops
+// the world, so back-to-back metric reads within one scrape (and
+// scrapes arriving faster than maxAge) share a snapshot.
+type memReader struct {
+	mu     sync.Mutex
+	last   time.Time
+	stats  runtime.MemStats
+	maxAge time.Duration
+}
+
+func (m *memReader) read() *runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); now.Sub(m.last) > m.maxAge {
+		runtime.ReadMemStats(&m.stats)
+		m.last = now
+	}
+	return &m.stats
+}
+
+// RegisterRuntimeMetrics exposes Go runtime health on reg: goroutine
+// count, heap usage, and cumulative GC pause/cycle counters.
+func RegisterRuntimeMetrics(reg *Registry) {
+	mr := &memReader{maxAge: time.Second}
+	reg.RegisterGaugeFunc("go_goroutines",
+		"Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.RegisterGaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(mr.read().HeapAlloc) })
+	reg.RegisterGaugeFunc("go_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.", nil,
+		func() float64 { return float64(mr.read().HeapSys) })
+	reg.RegisterCounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.", nil,
+		func() int64 { return int64(mr.read().NumGC) })
+	reg.RegisterGaugeFunc("go_gc_pause_total_seconds",
+		"Cumulative stop-the-world GC pause time.", nil,
+		func() float64 { return float64(mr.read().PauseTotalNs) / 1e9 })
+}

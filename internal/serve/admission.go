@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 )
 
 // Request headers understood by the admission layer.
@@ -64,29 +65,45 @@ func (s *Service) rateLimit(w http.ResponseWriter, r *http.Request) bool {
 }
 
 // admit passes the request through the admission gate at the given
-// cost. On admission it returns a release func (never nil) to defer;
-// a false return means the rejection response has been written. The
-// gate is waited on under ctx, so a client that disconnects or blows
-// its deadline while queued frees its queue slot immediately.
-func (s *Service) admit(ctx context.Context, w http.ResponseWriter, cost loadctl.Cost) (func(), bool) {
+// cost, recording the gate_wait span on tr (nil for untraced
+// requests). On admission it returns a release func (never nil) to
+// defer; a false return means the rejection response has been written.
+// The gate is waited on under ctx, so a client that disconnects or
+// blows its deadline while queued frees its queue slot immediately.
+func (s *Service) admit(ctx context.Context, w http.ResponseWriter, cost loadctl.Cost, tr *obs.Trace) (func(), bool) {
 	lc := s.loadctl.Load()
 	if lc == nil || lc.Gate == nil {
 		return func() {}, true
 	}
+	t0 := tr.Clock()
 	if err := lc.Gate.Acquire(ctx, cost); err != nil {
 		if errors.Is(err, loadctl.ErrOverloaded) {
 			api.WriteError(w, http.StatusServiceUnavailable,
 				api.Errorf(api.CodeOverloaded, "%v", errOverloaded).WithRetryAfter(time.Second))
 		} else {
 			// Context ended while queued: the client is gone or out of
-			// budget; 504 documents the abandoned wait.
+			// budget; 504 documents the abandoned wait. The gate_wait
+			// span is recorded first so the envelope shows where the
+			// budget went.
+			tr.Record(obs.StageGateWait, -1, t0)
 			s.deadlineRejects.Add(1)
-			api.WriteError(w, http.StatusGatewayTimeout,
-				api.Errorf(api.CodeDeadlineExceeded, "serve: request abandoned while queued: %v", err))
+			e := api.Errorf(api.CodeDeadlineExceeded, "serve: request abandoned while queued: %v", err)
+			api.WriteError(w, http.StatusGatewayTimeout, attachTrace(e, tr))
 		}
 		return nil, false
 	}
+	tr.Record(obs.StageGateWait, -1, t0)
 	return lc.Gate.Release, true
+}
+
+// attachTrace annotates a deadline-expiry envelope with the trace ID
+// and the spans recorded before the budget ran out.
+func attachTrace(e *api.Error, tr *obs.Trace) *api.Error {
+	if tr != nil {
+		e.TraceID = tr.ID()
+		e.Spans = SpanSummaries(tr.Spans())
+	}
+	return e
 }
 
 // RequestContext derives a handler context from the client's deadline
@@ -131,9 +148,10 @@ func IsDeadline(err error) bool {
 func isDeadline(err error) bool { return IsDeadline(err) }
 
 // writeDeadlineError answers a request whose budget ran out and counts
-// it.
-func (s *Service) writeDeadlineError(w http.ResponseWriter, err error) {
+// it; a live trace annotates the envelope with the spans recorded up
+// to expiry.
+func (s *Service) writeDeadlineError(w http.ResponseWriter, err error, tr *obs.Trace) {
 	s.deadlineRejects.Add(1)
-	api.WriteError(w, http.StatusGatewayTimeout,
-		api.Errorf(api.CodeDeadlineExceeded, "serve: deadline exceeded: %v", err))
+	e := api.Errorf(api.CodeDeadlineExceeded, "serve: deadline exceeded: %v", err)
+	api.WriteError(w, http.StatusGatewayTimeout, attachTrace(e, tr))
 }

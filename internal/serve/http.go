@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 )
 
 // The wire DTOs of the /v1 surface live in internal/api — this file
@@ -223,6 +224,7 @@ func (s *Service) StatsPayload() api.Stats {
 			Draining:          lc.Draining,
 		}
 	}
+	out.Obs = s.obsStatsPayload()
 	return out
 }
 
@@ -245,13 +247,20 @@ func (s *Service) StatsPayload() api.Stats {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		tr := s.startTrace(w, r)
+		defer s.finishTrace(tr)
+		t0 := tr.Clock()
 		if !s.rateLimit(w, r) {
 			return
 		}
+		tr.Record(obs.StageRateLimit, -1, t0)
 		var in api.PredictRequest
+		t0 = tr.Clock()
 		if !DecodeBody(w, r, &in) {
 			return
 		}
+		tr.Record(obs.StageDecode, -1, t0)
+		t0 = tr.Clock()
 		req, err := ToRequest(in)
 		if err != nil {
 			api.WriteError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
@@ -261,8 +270,14 @@ func (s *Service) Handler() http.Handler {
 		// bypass the gate so cached traffic keeps flowing at full rate
 		// even when the gate is saturated with expensive work.
 		if s.PeekCached(req.Key, req.Query) {
+			tr.Record(obs.StageClassify, -1, t0)
 			s.gateBypassed.Add(1)
-			api.WriteJSON(w, ToAPIResponse(s.Predict(r.Context(), req.Key, req.Query)))
+			t0 = tr.Clock()
+			resp := s.Predict(r.Context(), req.Key, req.Query)
+			tr.Record(obs.StagePredict, -1, t0)
+			t0 = tr.Clock()
+			api.WriteJSON(w, ToAPIResponse(resp))
+			tr.Record(obs.StageEncode, -1, t0)
 			return
 		}
 		ctx, cancel := s.requestContext(r)
@@ -273,31 +288,41 @@ func (s *Service) Handler() http.Handler {
 		if s.reg.Resident(req.Key) {
 			cost = loadctl.CostCheap
 		}
-		release, ok := s.admit(ctx, w, cost)
+		tr.Record(obs.StageClassify, -1, t0)
+		release, ok := s.admit(ctx, w, cost, tr)
 		if !ok {
 			return
 		}
 		defer release()
-		resp := s.Predict(ctx, req.Key, req.Query)
+		resp := s.PredictTraced(ctx, req.Key, req.Query, tr)
 		if resp.Err != nil && isDeadline(resp.Err) {
-			s.writeDeadlineError(w, resp.Err)
+			s.writeDeadlineError(w, resp.Err, tr)
 			return
 		}
+		t0 = tr.Clock()
 		api.WriteJSON(w, ToAPIResponse(resp))
+		tr.Record(obs.StageEncode, -1, t0)
 	})
 	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		tr := s.startTrace(w, r)
+		defer s.finishTrace(tr)
+		t0 := tr.Clock()
 		if !s.rateLimit(w, r) {
 			return
 		}
+		tr.Record(obs.StageRateLimit, -1, t0)
 		var in api.BatchRequest
+		t0 = tr.Clock()
 		if !DecodeBody(w, r, &in) {
 			return
 		}
+		tr.Record(obs.StageDecode, -1, t0)
 		if len(in.Requests) > MaxBatchRequests {
 			api.WriteError(w, http.StatusRequestEntityTooLarge,
 				api.Errorf(api.CodePayloadTooLarge, "batch of %d requests exceeds limit %d", len(in.Requests), MaxBatchRequests))
 			return
 		}
+		t0 = tr.Clock()
 		reqs := make([]Request, len(in.Requests))
 		resp := api.BatchResponse{Responses: make([]api.PredictResponse, len(in.Requests))}
 		bad := make([]bool, len(in.Requests))
@@ -310,10 +335,11 @@ func (s *Service) Handler() http.Handler {
 			}
 			reqs[i] = req
 		}
+		tr.Record(obs.StageClassify, -1, t0)
 		ctx, cancel := s.requestContext(r)
 		defer cancel()
 		// Batches fan out across models and queries: always heavy.
-		release, ok := s.admit(ctx, w, loadctl.CostHeavy)
+		release, ok := s.admit(ctx, w, loadctl.CostHeavy, tr)
 		if !ok {
 			return
 		}
@@ -327,11 +353,13 @@ func (s *Service) Handler() http.Handler {
 				liveIdx = append(liveIdx, i)
 			}
 		}
+		t0 = tr.Clock()
 		for j, out := range s.PredictBatch(ctx, live) {
 			resp.Responses[liveIdx[j]] = ToAPIResponse(out)
 		}
+		tr.Record(obs.StagePredict, -1, t0)
 		if err := ctx.Err(); err != nil {
-			s.writeDeadlineError(w, err)
+			s.writeDeadlineError(w, err, tr)
 			return
 		}
 		for i := range resp.Responses {
@@ -339,7 +367,9 @@ func (s *Service) Handler() http.Handler {
 				resp.Failed++
 			}
 		}
+		t0 = tr.Clock()
 		api.WriteJSON(w, resp)
+		tr.Record(obs.StageEncode, -1, t0)
 	})
 	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
 		if !s.rateLimit(w, r) {
@@ -357,7 +387,7 @@ func (s *Service) Handler() http.Handler {
 		ctx, cancel := s.requestContext(r)
 		defer cancel()
 		// Allocation sweeps a scale-out range through the model: heavy.
-		release, ok := s.admit(ctx, w, loadctl.CostHeavy)
+		release, ok := s.admit(ctx, w, loadctl.CostHeavy, nil)
 		if !ok {
 			return
 		}
@@ -365,7 +395,7 @@ func (s *Service) Handler() http.Handler {
 		res, err := s.Allocate(ctx, key, req)
 		if err != nil {
 			if isDeadline(err) {
-				s.writeDeadlineError(w, err)
+				s.writeDeadlineError(w, err, nil)
 				return
 			}
 			// An unloadable model is the server's (or deployment's)
@@ -396,14 +426,14 @@ func (s *Service) Handler() http.Handler {
 		ctx, cancel := s.requestContext(r)
 		defer cancel()
 		// An observation is one validation pass plus a WAL append: cheap.
-		release, ok := s.admit(ctx, w, loadctl.CostCheap)
+		release, ok := s.admit(ctx, w, loadctl.CostCheap, nil)
 		if !ok {
 			return
 		}
 		defer release()
 		if err := s.Observe(ctx, req.Key, req.Query, in.RuntimeSec); err != nil {
 			if isDeadline(err) {
-				s.writeDeadlineError(w, err)
+				s.writeDeadlineError(w, err, nil)
 				return
 			}
 			code := http.StatusBadRequest
@@ -427,6 +457,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteJSON(w, s.StatsPayload())
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/debug/slow", s.handleSlowTraces)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// A draining server answers not-ready so load balancers stop
 		// routing new work to it while in-flight requests finish.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/allocate"
 	"repro/internal/core"
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -184,6 +185,7 @@ type Service struct {
 	observer atomic.Pointer[Observer]
 	storeRef atomic.Pointer[storeStatser]
 	loadctl  atomic.Pointer[LoadControl]
+	obsRef   atomic.Pointer[Observability]
 
 	// draining flips once shutdown starts: /healthz answers 503 so load
 	// balancers stop routing here while in-flight requests finish.
@@ -194,16 +196,19 @@ type Service struct {
 	// under concurrent traffic.
 	engines sync.Pool
 
-	requests, calls          atomic.Int64
-	resultHits, resultMisses atomic.Int64
-	latencyNS                atomic.Int64
+	// Counters are obs types (one atomic add per increment) so the same
+	// cells back Stats(), /v1/stats, and — once AttachObs registers them
+	// — the /metrics exposition. No label lookups on any hot path.
+	requests, calls          obs.Counter
+	resultHits, resultMisses obs.Counter
+	latency                  *obs.Hist
 
-	allocCalls, allocErrors         atomic.Int64
-	allocViolations, allocFallbacks atomic.Int64
-	allocLatencyNS                  atomic.Int64
+	allocCalls, allocErrors         obs.Counter
+	allocViolations, allocFallbacks obs.Counter
+	allocLatency                    *obs.Hist
 
-	gateBypassed    atomic.Int64
-	deadlineRejects atomic.Int64
+	gateBypassed    obs.Counter
+	deadlineRejects obs.Counter
 }
 
 // LoadControl is the overload-protection configuration threaded in
@@ -251,9 +256,11 @@ func (s *Service) Draining() bool { return s.draining.Load() }
 // NewService builds a service loading models through loader.
 func NewService(loader Loader, opts Options) *Service {
 	s := &Service{
-		reg:     NewRegistry(loader, opts.ModelCap),
-		results: newResultCache(opts.ResultCap),
-		workers: opts.Workers,
+		reg:          NewRegistry(loader, opts.ModelCap),
+		results:      newResultCache(opts.ResultCap),
+		workers:      opts.Workers,
+		latency:      obs.NewHist(),
+		allocLatency: obs.NewHist(),
 	}
 	s.reg.SetFloat64Serving(opts.Float64Serving)
 	s.engines.New = func() any { return allocate.NewEngine() }
@@ -269,8 +276,8 @@ func NewService(loader Loader, opts Options) *Service {
 func (s *Service) Allocate(ctx context.Context, key ModelKey, req allocate.Request) (*allocate.Result, error) {
 	start := time.Now()
 	defer func() {
-		s.allocLatencyNS.Add(int64(time.Since(start)))
-		s.allocCalls.Add(1)
+		s.allocLatency.Observe(time.Since(start))
+		s.allocCalls.Inc()
 	}()
 	ref, err := s.reg.GetRef(ctx, key)
 	if err != nil {
@@ -375,12 +382,19 @@ func (s *Service) PeekCached(key ModelKey, q core.Query) bool {
 // is already in hand); a miss respects its deadline before touching
 // the model.
 func (s *Service) Predict(ctx context.Context, key ModelKey, q core.Query) Response {
-	start := time.Now()
-	defer s.observe(start, 1)
-	return s.predictOne(ctx, key, q)
+	return s.PredictTraced(ctx, key, q, nil)
 }
 
-func (s *Service) predictOne(ctx context.Context, key ModelKey, q core.Query) Response {
+// PredictTraced is Predict with an optional request trace: on a cache
+// miss it records the registry_load and predict pipeline stages. A nil
+// trace costs only the nil checks, keeping the warm path 0 allocs/op.
+func (s *Service) PredictTraced(ctx context.Context, key ModelKey, q core.Query, tr *obs.Trace) Response {
+	start := time.Now()
+	defer s.observe(start, 1)
+	return s.predictOne(ctx, key, q, tr)
+}
+
+func (s *Service) predictOne(ctx context.Context, key ModelKey, q core.Query, tr *obs.Trace) Response {
 	bufp := fpPool.Get().(*[]byte)
 	fp := appendFingerprint((*bufp)[:0], key, q)
 	v, ok := s.results.get(fp)
@@ -404,11 +418,15 @@ func (s *Service) predictOne(ctx context.Context, key ModelKey, q core.Query) Re
 	// hot-swap invalidates this key while the prediction is in flight,
 	// the epoch moves and the stale value is not memoized.
 	epoch := s.results.snapshot()
+	t0 := tr.Clock()
 	sm, err := s.reg.Get(ctx, key)
+	tr.Record(obs.StageRegistryLoad, -1, t0)
 	if err != nil {
 		return Response{Err: err}
 	}
+	t0 = tr.Clock()
 	v, err = sm.Predict(q)
+	tr.Record(obs.StagePredict, -1, t0)
 	if err != nil {
 		return Response{Err: err}
 	}
@@ -602,23 +620,17 @@ func (s *Service) PredictBatch(ctx context.Context, reqs []Request) []Response {
 }
 
 func (s *Service) observe(start time.Time, n int) {
-	s.latencyNS.Add(int64(time.Since(start)))
-	s.calls.Add(1)
+	s.latency.Observe(time.Since(start))
+	s.calls.Inc()
 	s.requests.Add(int64(n))
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	calls := s.calls.Load()
-	var mean time.Duration
-	if calls > 0 {
-		mean = time.Duration(s.latencyNS.Load() / calls)
-	}
+	mean := s.latency.Mean()
 	allocCalls := s.allocCalls.Load()
-	var allocMean time.Duration
-	if allocCalls > 0 {
-		allocMean = time.Duration(s.allocLatencyNS.Load() / allocCalls)
-	}
+	allocMean := s.allocLatency.Mean()
 	st := Stats{
 		Requests:       s.requests.Load(),
 		Calls:          calls,

@@ -14,6 +14,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/loadctl"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -73,11 +74,13 @@ type Cluster struct {
 
 	draining atomic.Bool
 
-	requests        atomic.Int64
-	batchFanouts    atomic.Int64
-	partialFailures atomic.Int64
-	rateLimited     atomic.Int64
-	deadlineRejects atomic.Int64
+	requests        obs.Counter
+	batchFanouts    obs.Counter
+	partialFailures obs.Counter
+	rateLimited     obs.Counter
+	deadlineRejects obs.Counter
+
+	obsRef atomic.Pointer[serve.Observability]
 }
 
 // New assembles a cluster over the given shards. At least one shard is
@@ -188,11 +191,21 @@ func gateError(err error) *api.Error {
 
 // Predict routes one prediction to the owner of its key.
 func (c *Cluster) Predict(ctx context.Context, req serve.Request) serve.Response {
-	c.requests.Add(1)
-	return c.predictOn(ctx, c.nodes[c.ring.Owner(req.Key.Job, req.Key.Env)], req)
+	return c.PredictTraced(ctx, req, nil)
 }
 
-func (c *Cluster) predictOn(ctx context.Context, n *Node, req serve.Request) serve.Response {
+// PredictTraced is Predict with an optional request trace: the dispatch
+// to the owning shard is recorded as a shard_route span tagged with the
+// shard ID, and the trace rides into the shard's service so the
+// registry_load and predict stages nest under the route.
+func (c *Cluster) PredictTraced(ctx context.Context, req serve.Request, tr *obs.Trace) serve.Response {
+	c.requests.Add(1)
+	return c.predictOn(ctx, c.nodes[c.ring.Owner(req.Key.Job, req.Key.Env)], req, tr)
+}
+
+func (c *Cluster) predictOn(ctx context.Context, n *Node, req serve.Request, tr *obs.Trace) serve.Response {
+	t0 := tr.Clock()
+	defer func() { tr.Record(obs.StageShardRoute, n.ID, t0) }()
 	nctx, ok := n.liveContext()
 	if !ok {
 		return serve.Response{Err: errShardDown(n.ID)}
@@ -211,7 +224,7 @@ func (c *Cluster) predictOn(ctx context.Context, n *Node, req serve.Request) ser
 		return serve.Response{Err: gateError(err)}
 	}
 	defer release()
-	resp := n.Service.Predict(dctx, req.Key, req.Query)
+	resp := n.Service.PredictTraced(dctx, req.Key, req.Query, tr)
 	if resp.Err != nil && n.down.Load() {
 		resp.Err = errShardDown(n.ID)
 	}
@@ -224,6 +237,15 @@ func (c *Cluster) predictOn(ctx context.Context, n *Node, req serve.Request) ser
 // errors for exactly its own items; the rest of the batch completes
 // normally.
 func (c *Cluster) PredictBatch(ctx context.Context, reqs []serve.Request) []serve.Response {
+	return c.PredictBatchTraced(ctx, reqs, nil)
+}
+
+// PredictBatchTraced is PredictBatch with an optional request trace.
+// Each per-shard dispatch records its own shard_route span tagged with
+// that shard's ID, so a fanned-out batch shows one span per shard it
+// touched; the trace's span slots are claimed atomically, making the
+// concurrent recording safe.
+func (c *Cluster) PredictBatchTraced(ctx context.Context, reqs []serve.Request, tr *obs.Trace) []serve.Response {
 	c.requests.Add(int64(len(reqs)))
 	out := make([]serve.Response, len(reqs))
 	if len(reqs) == 0 {
@@ -248,7 +270,7 @@ func (c *Cluster) PredictBatch(ctx context.Context, reqs []serve.Request) []serv
 			for j, i := range idxs {
 				sub[j] = reqs[i]
 			}
-			for j, r := range c.batchOn(ctx, n, sub) {
+			for j, r := range c.batchOn(ctx, n, sub, tr) {
 				out[idxs[j]] = r
 			}
 		}(c.nodes[sid], idxs)
@@ -266,7 +288,9 @@ func (c *Cluster) PredictBatch(ctx context.Context, reqs []serve.Request) []serv
 	return out
 }
 
-func (c *Cluster) batchOn(ctx context.Context, n *Node, sub []serve.Request) []serve.Response {
+func (c *Cluster) batchOn(ctx context.Context, n *Node, sub []serve.Request, tr *obs.Trace) []serve.Response {
+	t0 := tr.Clock()
+	defer func() { tr.Record(obs.StageShardRoute, n.ID, t0) }()
 	fill := func(err error) []serve.Response {
 		rs := make([]serve.Response, len(sub))
 		for i := range rs {

@@ -8,24 +8,34 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 // Handler returns the sharded /v1 surface. Routes, DTOs, status codes,
 // and the error envelope are identical to serve.(*Service).Handler() —
-// the only addition is GET /v1/shards, the topology endpoint. Rate
-// limiting runs once at the router; admission gating runs per shard, so
-// a hot shard sheds load without throttling its siblings.
+// including GET /metrics and GET /v1/debug/slow when an observability
+// layer is attached — the only addition is GET /v1/shards, the topology
+// endpoint. Rate limiting runs once at the router; admission gating
+// runs per shard, so a hot shard sheds load without throttling its
+// siblings.
 func (c *Cluster) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		tr := c.startTrace(w, r)
+		defer c.finishTrace(tr)
+		t0 := tr.Clock()
 		if !c.rateLimit(w, r) {
 			return
 		}
+		tr.Record(obs.StageRateLimit, -1, t0)
 		var in api.PredictRequest
+		t0 = tr.Clock()
 		if !serve.DecodeBody(w, r, &in) {
 			return
 		}
+		tr.Record(obs.StageDecode, -1, t0)
+		t0 = tr.Clock()
 		req, err := serve.ToRequest(in)
 		if err != nil {
 			api.WriteError(w, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
@@ -35,13 +45,20 @@ func (c *Cluster) Handler() http.Handler {
 		// gate, mirroring the single-shard bypass.
 		n := c.nodes[c.ring.Owner(req.Key.Job, req.Key.Env)]
 		if !n.down.Load() && n.Service.PeekCached(req.Key, req.Query) {
+			tr.Record(obs.StageClassify, -1, t0)
 			c.requests.Add(1)
-			api.WriteJSON(w, serve.ToAPIResponse(n.Service.Predict(r.Context(), req.Key, req.Query)))
+			t0 = tr.Clock()
+			resp := n.Service.PredictTraced(r.Context(), req.Key, req.Query, tr)
+			tr.Record(obs.StageShardRoute, n.ID, t0)
+			t0 = tr.Clock()
+			api.WriteJSON(w, serve.ToAPIResponse(resp))
+			tr.Record(obs.StageEncode, -1, t0)
 			return
 		}
+		tr.Record(obs.StageClassify, -1, t0)
 		ctx, cancel := serve.RequestContext(r, c.opts.MaxDeadline)
 		defer cancel()
-		resp := c.Predict(ctx, req)
+		resp := c.PredictTraced(ctx, req, tr)
 		if resp.Err != nil {
 			// Routing-layer failures (dead shard, saturated gate, blown
 			// deadline) are HTTP-level errors; model-level failures stay
@@ -56,25 +73,34 @@ func (c *Cluster) Handler() http.Handler {
 				return
 			case api.CodeDeadlineExceeded:
 				c.deadlineRejects.Add(1)
-				api.WriteError(w, http.StatusGatewayTimeout, typed)
+				api.WriteError(w, http.StatusGatewayTimeout, attachTrace(typed, tr))
 				return
 			}
 		}
+		t0 = tr.Clock()
 		api.WriteJSON(w, serve.ToAPIResponse(resp))
+		tr.Record(obs.StageEncode, -1, t0)
 	})
 	mux.HandleFunc("POST /v1/predict/batch", func(w http.ResponseWriter, r *http.Request) {
+		tr := c.startTrace(w, r)
+		defer c.finishTrace(tr)
+		t0 := tr.Clock()
 		if !c.rateLimit(w, r) {
 			return
 		}
+		tr.Record(obs.StageRateLimit, -1, t0)
 		var in api.BatchRequest
+		t0 = tr.Clock()
 		if !serve.DecodeBody(w, r, &in) {
 			return
 		}
+		tr.Record(obs.StageDecode, -1, t0)
 		if len(in.Requests) > serve.MaxBatchRequests {
 			api.WriteError(w, http.StatusRequestEntityTooLarge,
 				api.Errorf(api.CodePayloadTooLarge, "batch of %d requests exceeds limit %d", len(in.Requests), serve.MaxBatchRequests))
 			return
 		}
+		t0 = tr.Clock()
 		reqs := make([]serve.Request, len(in.Requests))
 		resp := api.BatchResponse{Responses: make([]api.PredictResponse, len(in.Requests))}
 		bad := make([]bool, len(in.Requests))
@@ -87,6 +113,7 @@ func (c *Cluster) Handler() http.Handler {
 			}
 			reqs[i] = req
 		}
+		tr.Record(obs.StageClassify, -1, t0)
 		ctx, cancel := serve.RequestContext(r, c.opts.MaxDeadline)
 		defer cancel()
 		var live []serve.Request
@@ -97,13 +124,15 @@ func (c *Cluster) Handler() http.Handler {
 				liveIdx = append(liveIdx, i)
 			}
 		}
-		for j, out := range c.PredictBatch(ctx, live) {
+		t0 = tr.Clock()
+		for j, out := range c.PredictBatchTraced(ctx, live, tr) {
 			resp.Responses[liveIdx[j]] = serve.ToAPIResponse(out)
 		}
+		tr.Record(obs.StagePredict, -1, t0)
 		if err := ctx.Err(); err != nil {
 			c.deadlineRejects.Add(1)
-			api.WriteError(w, http.StatusGatewayTimeout,
-				api.Errorf(api.CodeDeadlineExceeded, "shard: deadline exceeded: %v", err))
+			e := api.Errorf(api.CodeDeadlineExceeded, "shard: deadline exceeded: %v", err)
+			api.WriteError(w, http.StatusGatewayTimeout, attachTrace(e, tr))
 			return
 		}
 		for i := range resp.Responses {
@@ -111,7 +140,9 @@ func (c *Cluster) Handler() http.Handler {
 				resp.Failed++
 			}
 		}
+		t0 = tr.Clock()
 		api.WriteJSON(w, resp)
+		tr.Record(obs.StageEncode, -1, t0)
 	})
 	mux.HandleFunc("POST /v1/allocate", func(w http.ResponseWriter, r *http.Request) {
 		if !c.rateLimit(w, r) {
@@ -179,6 +210,8 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteJSON(w, c.Topology())
 	})
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /v1/debug/slow", c.handleSlowTraces)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		if c.Draining() {
 			api.WriteError(w, http.StatusServiceUnavailable,

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// AttachObs wires the shared observability layer into the router and,
+// when a metrics registry is present, registers the router-level
+// counters, per-shard health gauges, and replication counters. The
+// per-shard service metrics are registered separately by each shard's
+// own Service.AttachObs with a distinct {shard="i"} label set, so a
+// single registry scrape covers the whole cluster. Attach once, before
+// serving traffic.
+func (c *Cluster) AttachObs(o *serve.Observability) {
+	c.obsRef.Store(o)
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	c.registerMetrics(o.Metrics)
+}
+
+// Obs returns the attached observability layer, or nil.
+func (c *Cluster) Obs() *serve.Observability { return c.obsRef.Load() }
+
+func (c *Cluster) registerMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("bellamy_router_requests_total",
+		"Individual requests routed by the shard router (batch items included).", nil, &c.requests)
+	reg.RegisterCounter("bellamy_router_batch_fanouts_total",
+		"Batches that fanned out to more than one shard.", nil, &c.batchFanouts)
+	reg.RegisterCounter("bellamy_router_partial_failures_total",
+		"Batches where some but not all items failed.", nil, &c.partialFailures)
+	reg.RegisterCounter("bellamy_router_rate_limited_total",
+		"Requests answered 429 by the router's per-client rate limiter.", nil, &c.rateLimited)
+	reg.RegisterCounter("bellamy_router_deadline_rejects_total",
+		"Requests answered 504 by the router because their budget ran out.", nil, &c.deadlineRejects)
+	reg.RegisterGaugeFunc("bellamy_router_draining",
+		"1 while the router's shutdown drain is in progress, else 0.", nil,
+		func() float64 {
+			if c.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	for _, n := range c.nodes {
+		n := n
+		reg.RegisterGaugeFunc("bellamy_shard_up",
+			"1 while the shard accepts dispatches, 0 while marked down.",
+			obs.Labels{"shard": strconv.Itoa(n.ID)},
+			func() float64 {
+				if n.down.Load() {
+					return 0
+				}
+				return 1
+			})
+	}
+
+	for _, m := range []struct {
+		name, help string
+		read       func(api.ReplicationStats) int64
+	}{
+		{"bellamy_repl_frames_sent_total", "Replication frames sent.", func(r api.ReplicationStats) int64 { return r.FramesSent }},
+		{"bellamy_repl_frames_received_total", "Replication frames received.", func(r api.ReplicationStats) int64 { return r.FramesReceived }},
+		{"bellamy_repl_bytes_sent_total", "Replication payload bytes sent.", func(r api.ReplicationStats) int64 { return r.BytesSent }},
+		{"bellamy_repl_bytes_received_total", "Replication payload bytes received.", func(r api.ReplicationStats) int64 { return r.BytesReceived }},
+		{"bellamy_repl_applied_total", "Replicated model versions installed.", func(r api.ReplicationStats) int64 { return r.Applied }},
+		{"bellamy_repl_stale_total", "Replicated versions rejected as stale.", func(r api.ReplicationStats) int64 { return r.Stale }},
+		{"bellamy_repl_peer_errors_total", "Replication peer connection errors.", func(r api.ReplicationStats) int64 { return r.PeerErrors }},
+	} {
+		read := m.read
+		reg.RegisterCounterFunc(m.name, m.help, nil, func() int64 {
+			rs := c.ReplicationStats()
+			if rs == nil {
+				return 0
+			}
+			return read(*rs)
+		})
+	}
+}
+
+// startTrace begins a request trace at the router when a tracer is
+// attached, echoing the trace ID on the response header. Identical
+// contract to the single-shard handler: a client-supplied X-Trace-Id is
+// always traced, other requests are sampled. Returns nil for untraced
+// requests.
+func (c *Cluster) startTrace(w http.ResponseWriter, r *http.Request) *obs.Trace {
+	o := c.obsRef.Load()
+	if o == nil || o.Tracer == nil {
+		return nil
+	}
+	tr := o.Tracer.StartRequest(r.Header.Get(api.TraceIDHeader))
+	if tr != nil {
+		w.Header().Set(api.TraceIDHeader, tr.ID())
+	}
+	return tr
+}
+
+// finishTrace completes tr (nil-safe), offering it to the slow ring.
+func (c *Cluster) finishTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	if o := c.obsRef.Load(); o != nil {
+		o.Tracer.Finish(tr)
+	}
+}
+
+// attachTrace annotates a router-level 504 envelope with the trace ID
+// and the spans recorded before the budget ran out.
+func attachTrace(e *api.Error, tr *obs.Trace) *api.Error {
+	if tr != nil {
+		e.TraceID = tr.ID()
+		e.Spans = serve.SpanSummaries(tr.Spans())
+	}
+	return e
+}
+
+// handleMetrics and handleSlowTraces serve GET /metrics and
+// GET /v1/debug/slow on the sharded surface; both answer 404 until an
+// observability layer with the relevant facility is attached.
+func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	o := c.obsRef.Load()
+	if o == nil || o.Metrics == nil {
+		http.NotFound(w, r)
+		return
+	}
+	o.Metrics.Handler().ServeHTTP(w, r)
+}
+
+func (c *Cluster) handleSlowTraces(w http.ResponseWriter, r *http.Request) {
+	o := c.obsRef.Load()
+	if o == nil || o.Tracer == nil {
+		http.NotFound(w, r)
+		return
+	}
+	api.WriteJSON(w, serve.SlowTracesPayload(o.Tracer))
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,6 +38,10 @@ type Options struct {
 	// CompactInterval is the background compaction period started by
 	// Start (<= 0: DefaultCompactInterval).
 	CompactInterval time.Duration
+	// Logger receives structured store events — WAL tail repair,
+	// segment seals, corruption, compaction — with the segment and byte
+	// counts as fields. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactInterval <= 0 {
 		o.CompactInterval = DefaultCompactInterval
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -173,6 +181,8 @@ func Open(dir string, opts Options) (*Store, error) {
 			// counted and skipped so the store stays available. Its
 			// records are unrecoverable (the WAL that fed it is gone).
 			s.corruptSegments.Add(1)
+			s.opts.Logger.Error("store: skipping corrupt compacted segment",
+				"segment", e.Name(), "error", err)
 			continue
 		}
 		s.segs = append(s.segs, g)
@@ -206,6 +216,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		every:    s.opts.FsyncEvery,
 		segBytes: s.opts.SegmentBytes,
 		maxRec:   s.opts.MaxRecordBytes,
+		log:      s.opts.Logger,
 	}
 	activeSeq := maxCovered + 1
 	var activeSize int64
@@ -229,6 +240,8 @@ func Open(dir string, opts Options) (*Store, error) {
 				return nil, fmt.Errorf("store: repairing WAL tail: %w", err)
 			}
 			s.repairedBytes.Add(res.fileSize - valid)
+			s.opts.Logger.Warn("store: repaired torn WAL tail",
+				"segment", walName(last), "repaired_bytes", res.fileSize-valid)
 		}
 		activeSeq, activeSize = last, valid
 		if activeSize >= s.opts.SegmentBytes {
@@ -294,6 +307,8 @@ func (s *Store) Replay(h ReplayHandler) error {
 				})
 			if err != nil {
 				s.corruptSegments.Add(1)
+				s.opts.Logger.Error("store: replay stopped at corrupt compacted segment",
+					"job", e.job, "env", e.env, "error", err)
 				return fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 		}
@@ -326,6 +341,8 @@ func (s *Store) Replay(h ReplayHandler) error {
 			// A framed record with a valid CRC that fails decode is
 			// corruption the frame checksum cannot see.
 			s.corruptSegments.Add(1)
+			s.opts.Logger.Error("store: replay stopped at corrupt WAL record",
+				"segment", walName(seq), "error", err)
 			return fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		if !res.clean() {
@@ -333,6 +350,8 @@ func (s *Store) Replay(h ReplayHandler) error {
 			// is a sealed segment damaged at rest: stop at the clean
 			// prefix.
 			s.corruptSegments.Add(1)
+			s.opts.Logger.Error("store: replay stopped at damaged sealed segment",
+				"segment", walName(seq), "error", res.tornErr)
 			return fmt.Errorf("%w: %v", ErrCorrupt, res.tornErr)
 		}
 	}
@@ -432,6 +451,8 @@ func (s *Store) CompactNow() (int, error) {
 	s.segs = append(s.segs, g)
 	s.compactions.Add(1)
 	s.compactedRecords.Add(int64(records))
+	s.opts.Logger.Info("store: compacted WAL segments",
+		"records", records, "segments", len(sealed), "output", filepath.Base(path))
 	return records, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -98,6 +99,7 @@ type wal struct {
 	every    time.Duration
 	segBytes int64
 	maxRec   int
+	log      *slog.Logger
 
 	mu       sync.Mutex
 	f        *os.File
@@ -214,6 +216,8 @@ func (w *wal) sealLocked() error {
 		return fmt.Errorf("store: closing sealed WAL segment: %w", err)
 	}
 	w.seals.Add(1)
+	w.log.Info("store: sealed WAL segment",
+		"segment", walName(w.seq), "bytes", w.size)
 	return w.openActive(w.seq+1, 0)
 }
 
